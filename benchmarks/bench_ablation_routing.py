@@ -1,0 +1,80 @@
+"""Ablation — routing operations vs the general (Figure 4) RBD.
+
+The Section 9 future-work question quantified: how much reliability do
+routing operations give up, and what does exact no-routing evaluation
+cost?  Sweeps the replication level on a fixed chain and prints, per
+level: the routed (Eq. (9)) failure probability, the exact no-routing
+failure probability, the FKG cut-set bound, the number of minimal cuts,
+and evaluation times.  The benchmark times the exact factoring
+evaluation — the cost routing makes unnecessary.
+"""
+
+import numpy as np
+
+from repro.core import Interval, Mapping, Platform, TaskChain
+from repro.extensions import compare_routing
+from repro.util import logrel
+
+from benchmarks.conftest import emit
+
+
+def build_mapping(k: int) -> Mapping:
+    chain = TaskChain([40.0, 60.0, 30.0], [8.0, 6.0, 0.0])
+    p = 3 * k
+    plat = Platform(
+        speeds=[1.0 + 0.25 * (u % 3) for u in range(p)],
+        failure_rates=[1e-4] * p,
+        bandwidth=1.0,
+        link_failure_rate=1e-4,
+        max_replication=k,
+    )
+    procs = iter(range(p))
+    return Mapping(
+        chain,
+        plat,
+        [
+            (Interval(0, 1), tuple(next(procs) for _ in range(k))),
+            (Interval(1, 2), tuple(next(procs) for _ in range(k))),
+            (Interval(2, 3), tuple(next(procs) for _ in range(k))),
+        ],
+    )
+
+
+def test_ablation_routing(benchmark):
+    rows = []
+    for k in (1, 2, 3):
+        cmp = compare_routing(build_mapping(k))
+        rows.append(
+            (
+                k,
+                logrel.failure(cmp.routed_log_reliability),
+                logrel.failure(cmp.unrouted_exact_log_reliability),
+                logrel.failure(cmp.unrouted_cutset_log_reliability),
+                cmp.n_minimal_cuts,
+                cmp.routing_penalty,
+                cmp.unrouted_exact_seconds,
+            )
+        )
+    emit()
+    emit("replicas  f_routed    f_exact     f_cutset    cuts  penalty  t_exact[s]")
+    for k, fr, fe, fc, nc, pen, te in rows:
+        emit(
+            f"{k:8d}  {fr:.3e}  {fe:.3e}  {fc:.3e}  {nc:4d}  {pen:7.2f}  {te:.4f}"
+        )
+
+    # Routing never gains reliability; the penalty grows with the
+    # replication level (more mesh redundancy is funnelled away).
+    penalties = [r[5] for r in rows]
+    assert all(p >= 1.0 for p in penalties)
+    assert penalties[-1] >= penalties[0]
+    # The cut-set bound is never optimistic.
+    for _, _, fe, fc, _, _, _ in rows:
+        assert fc >= fe - 1e-18
+
+    # Time the expensive piece: exact factoring at the highest level.
+    mapping = build_mapping(3)
+    from repro.rbd.build import rbd_without_routing
+    from repro.rbd.evaluate import exact_log_reliability_factoring
+
+    rbd = rbd_without_routing(mapping)
+    benchmark(exact_log_reliability_factoring, rbd)

@@ -1,0 +1,34 @@
+"""Figure 6 — number of solutions vs period bound (hom, L = 750).
+
+Paper findings asserted here: the exact method dominates both
+heuristics everywhere and its count is non-decreasing in the period
+bound; Heur-P finds at least as many solutions as Heur-L over the
+low-to-medium period range (the crossover regime of Section 8.1).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_count_bench, emit
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_figure
+
+
+def test_fig06_solutions_vs_period(benchmark):
+    exp = run_count_bench(benchmark, "hom-period")
+    fig = run_figure("fig6", experiment_result=exp)
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+
+    # Exact dominates the heuristics and is monotone in the bound.
+    assert np.all(ilp >= heur_l)
+    assert np.all(ilp >= heur_p)
+    assert np.all(np.diff(ilp) >= 0)
+    # Heur-P at least matches Heur-L on the lower half of the sweep.
+    half = len(fig.xs) // 2
+    assert heur_p[:half].sum() >= heur_l[:half].sum()
+    # Someone eventually finds solutions (L = 750 admits ~half).
+    assert ilp[-1] > 0

@@ -1,0 +1,33 @@
+"""Figure 7 — average failure probability vs period bound (hom, L = 750).
+
+Asserted shape (Section 8.1): on the common instance set, the exact
+method's average failure probability lower-bounds both heuristics', and
+Heur-P stays closer to the optimum than Heur-L on average.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_failure_bench, emit
+from repro.experiments.report import render_figure
+
+
+def test_fig07_failure_vs_period(benchmark):
+    _, fig = run_failure_bench(benchmark, "hom-period", "fig7")
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+    defined = ~(np.isnan(ilp) | np.isnan(heur_l) | np.isnan(heur_p))
+    assert defined.any(), "no sweep point had solutions from both heuristics"
+
+    # The optimum lower-bounds both heuristics on the common set.
+    assert np.all(ilp[defined] <= heur_l[defined] + 1e-18)
+    assert np.all(ilp[defined] <= heur_p[defined] + 1e-18)
+    # Heur-P tracks the optimum more closely than Heur-L overall.
+    assert heur_p[defined].mean() <= heur_l[defined].mean() + 1e-18
+    # Everything is a probability.
+    for series in (ilp, heur_l, heur_p):
+        vals = series[defined]
+        assert np.all((vals >= 0) & (vals <= 1))

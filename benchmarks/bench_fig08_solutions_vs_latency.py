@@ -1,0 +1,32 @@
+"""Figure 8 — number of solutions vs latency bound (hom, P = 250).
+
+Asserted shape (Section 8.1): the exact count dominates and is
+non-decreasing in the latency bound; at low latencies both heuristics
+track the exact method closely, and across the sweep Heur-P misses no
+more exact solutions than Heur-L does (Heur-L's interval-size blindness
+vs the period bound costs it solutions as L grows).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_count_bench, emit
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_figure
+
+
+def test_fig08_solutions_vs_latency(benchmark):
+    exp = run_count_bench(benchmark, "hom-latency")
+    fig = run_figure("fig8", experiment_result=exp)
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+
+    assert np.all(ilp >= heur_l)
+    assert np.all(ilp >= heur_p)
+    assert np.all(np.diff(ilp) >= 0)
+    # Heur-P leaves at most as many exact solutions on the table.
+    assert (ilp - heur_p).sum() <= (ilp - heur_l).sum()
+    assert ilp[-1] > 0

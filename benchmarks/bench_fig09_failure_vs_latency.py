@@ -1,0 +1,31 @@
+"""Figure 9 — average failure probability vs latency bound (hom, P = 250).
+
+Asserted shape (Section 8.1): "solutions of heuristic Heur-L are less
+reliable than solutions of heuristic Heur-P, and Heur-P obtains
+solutions of reliability close to the optimal."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_failure_bench, emit
+from repro.experiments.report import render_figure
+
+
+def test_fig09_failure_vs_latency(benchmark):
+    _, fig = run_failure_bench(benchmark, "hom-latency", "fig9")
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+    defined = ~(np.isnan(ilp) | np.isnan(heur_l) | np.isnan(heur_p))
+    assert defined.any()
+
+    assert np.all(ilp[defined] <= heur_p[defined] + 1e-18)
+    assert np.all(ilp[defined] <= heur_l[defined] + 1e-18)
+    assert heur_p[defined].mean() <= heur_l[defined].mean() + 1e-18
+    # Heur-P close to optimal: within two orders of magnitude on
+    # average, while Heur-L is typically much farther.
+    ratio_p = heur_p[defined].mean() / max(ilp[defined].mean(), 1e-300)
+    assert ratio_p < 1e4

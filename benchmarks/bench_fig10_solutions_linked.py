@@ -1,0 +1,34 @@
+"""Figure 10 — number of solutions with linked bounds L = 3P (hom).
+
+Asserted shape (Section 8.1): with the linked bounds "almost all
+solutions are found by both heuristics, regardless of the bound on the
+period", with Heur-P slightly ahead of Heur-L.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_count_bench, emit
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_figure
+
+
+def test_fig10_solutions_linked(benchmark):
+    exp = run_count_bench(benchmark, "hom-linked")
+    fig = run_figure("fig10", experiment_result=exp)
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+
+    assert np.all(ilp >= heur_l)
+    assert np.all(ilp >= heur_p)
+    assert np.all(np.diff(ilp) >= 0)
+    # "Almost all solutions found by both heuristics": each heuristic
+    # captures at least 80% of the exact solutions over the sweep.
+    total = max(int(ilp.sum()), 1)
+    assert heur_p.sum() >= 0.8 * total
+    assert heur_l.sum() >= 0.8 * total
+    # Heur-P is (weakly) the better of the two overall.
+    assert heur_p.sum() >= heur_l.sum()

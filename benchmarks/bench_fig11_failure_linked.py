@@ -1,0 +1,27 @@
+"""Figure 11 — average failure probability with linked bounds L = 3P (hom).
+
+Asserted shape (Section 8.1): "solutions of heuristic Heur-P are close
+to the optimal in terms of failure rate, while Heur-L obtains less
+satisfactory results."
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_failure_bench, emit
+from repro.experiments.report import render_figure
+
+
+def test_fig11_failure_linked(benchmark):
+    _, fig = run_failure_bench(benchmark, "hom-linked", "fig11")
+    emit()
+    emit(render_figure(fig))
+
+    ilp = fig.series["ilp"]
+    heur_l = fig.series["heur-l"]
+    heur_p = fig.series["heur-p"]
+    defined = ~(np.isnan(ilp) | np.isnan(heur_l) | np.isnan(heur_p))
+    assert defined.any()
+
+    assert np.all(ilp[defined] <= heur_p[defined] + 1e-18)
+    assert np.all(ilp[defined] <= heur_l[defined] + 1e-18)
+    assert heur_p[defined].mean() <= heur_l[defined].mean() + 1e-18

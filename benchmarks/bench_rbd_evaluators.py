@@ -1,0 +1,68 @@
+"""Runtime/accuracy — the RBD evaluator ladder.
+
+On the no-routing RBD of a replicated mapping (the hard case routing
+exists to avoid), compare: exact state enumeration, exact pivotal
+factoring, the FKG cut-set lower bound, and Monte Carlo — accuracy
+against the enumeration oracle, wall-clock per evaluator.
+"""
+
+import math
+import time
+
+import pytest
+
+from repro.core import Interval, Mapping, Platform, TaskChain
+from repro.rbd import (
+    cut_set_lower_bound,
+    estimate_log_reliability,
+    exact_log_reliability_enumeration,
+    exact_log_reliability_factoring,
+    rbd_without_routing,
+)
+from repro.util import logrel
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def mesh_rbd():
+    chain = TaskChain([40.0, 60.0], [8.0, 0.0])
+    plat = Platform(
+        speeds=[1.0, 1.5, 2.0, 1.2],
+        failure_rates=[2e-3] * 4,
+        bandwidth=1.0,
+        link_failure_rate=1e-3,
+        max_replication=2,
+    )
+    mapping = Mapping(
+        chain, plat, [(Interval(0, 1), (0, 1)), (Interval(1, 2), (2, 3))]
+    )
+    return rbd_without_routing(mapping)
+
+
+def test_rbd_evaluators_agree(benchmark, mesh_rbd):
+    t0 = time.perf_counter()
+    exact_enum = exact_log_reliability_enumeration(mesh_rbd)
+    t1 = time.perf_counter()
+    exact_factor = exact_log_reliability_factoring(mesh_rbd)
+    t2 = time.perf_counter()
+    bound = cut_set_lower_bound(mesh_rbd)
+    t3 = time.perf_counter()
+    mc = estimate_log_reliability(mesh_rbd, trials=20_000, rng=5)
+    t4 = time.perf_counter()
+
+    emit()
+    emit("evaluator     failure-prob   seconds")
+    rows = [
+        ("enumeration", logrel.failure(exact_enum), t1 - t0),
+        ("factoring", logrel.failure(exact_factor), t2 - t1),
+        ("cut-bound", logrel.failure(bound), t3 - t2),
+        ("monte-carlo", 1 - mc.reliability, t4 - t3),
+    ]
+    for name, f, secs in rows:
+        emit(f"{name:12s}  {f:.6e}  {secs:.4f}")
+
+    assert exact_factor == pytest.approx(exact_enum, rel=1e-9)
+    assert bound <= exact_enum + 1e-12  # FKG: never optimistic
+    assert mc.consistent_with(exact_enum)
+
+    benchmark(exact_log_reliability_factoring, mesh_rbd)

@@ -1,0 +1,56 @@
+"""Runtime — the Theorem 1/2 dynamic programs.
+
+Times Algorithm 1 and Algorithm 2 at the paper's scale (n = 15,
+p = 10) and at a larger scale to exhibit the O(n^2 p K) growth; prints
+a small scaling table.
+"""
+
+import time
+
+import pytest
+
+from repro.algorithms import optimize_reliability, optimize_reliability_period
+from repro.core import Platform, random_chain
+
+from benchmarks.conftest import emit
+
+
+def make_instance(n, p, K=3):
+    chain = random_chain(n, rng=7)
+    plat = Platform.homogeneous_platform(
+        p, failure_rate=1e-8, link_failure_rate=1e-5, max_replication=K
+    )
+    return chain, plat
+
+
+@pytest.mark.parametrize("n,p", [(15, 10), (40, 20), (80, 30)])
+def test_runtime_algorithm1(benchmark, n, p):
+    chain, plat = make_instance(n, p)
+    result = benchmark(optimize_reliability, chain, plat)
+    assert result.feasible
+
+
+def test_runtime_algorithm2(benchmark):
+    chain, plat = make_instance(15, 10)
+    result = benchmark(optimize_reliability_period, chain, plat, 250.0)
+    assert result.feasible or not result.feasible  # runs to completion
+
+
+def test_dp_scaling_table(benchmark):
+    """Print wall-clock growth across sizes; assert superlinear but
+    tractable growth (the quadratic-in-n bound)."""
+    rows = []
+    for n, p in ((10, 8), (20, 12), (40, 16), (80, 24)):
+        chain, plat = make_instance(n, p)
+        t0 = time.perf_counter()
+        optimize_reliability(chain, plat)
+        rows.append((n, p, time.perf_counter() - t0))
+    emit()
+    emit("n    p   seconds")
+    for n, p, secs in rows:
+        emit(f"{n:<4d} {p:<3d} {secs:.4f}")
+    # 8x the tasks should cost far less than the 512x of a cubic blowup.
+    assert rows[-1][2] < max(rows[0][2], 1e-4) * 1024
+
+    chain, plat = make_instance(15, 10)
+    benchmark(optimize_reliability, chain, plat)

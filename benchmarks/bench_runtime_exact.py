@@ -1,0 +1,59 @@
+"""Runtime — the three exact tri-criteria engines.
+
+HiGHS branch-and-cut (the CPLEX substitute), the pure-Python
+branch-and-bound, and the exact Pareto DP must return the same optimum;
+this bench confirms it on a paper-scale instance and times each engine.
+"""
+
+import pytest
+
+from repro.algorithms import ilp_best, pareto_dp_best
+from repro.core import Platform, random_chain
+from benchmarks.conftest import emit
+
+BOUNDS = dict(max_period=250.0, max_latency=900.0)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    chain = random_chain(15, rng=3)
+    plat = Platform.homogeneous_platform(
+        10, failure_rate=1e-8, link_failure_rate=1e-5, max_replication=3
+    )
+    return chain, plat
+
+
+@pytest.fixture(scope="module")
+def reference(instance):
+    chain, plat = instance
+    return pareto_dp_best(chain, plat, **BOUNDS)
+
+
+def test_runtime_ilp_highs(benchmark, instance, reference):
+    chain, plat = instance
+    res = benchmark(lambda: ilp_best(chain, plat, **BOUNDS))
+    assert res.feasible == reference.feasible
+    if res.feasible:
+        assert abs(res.log_reliability - reference.log_reliability) <= max(
+            1e-6 * abs(reference.log_reliability), 1e-300
+        )
+
+
+def test_runtime_ilp_branch_bound(benchmark, instance, reference):
+    chain, plat = instance
+    res = benchmark.pedantic(
+        lambda: ilp_best(chain, plat, backend="branch-bound", **BOUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    assert res.feasible == reference.feasible
+    if res.feasible:
+        assert abs(res.log_reliability - reference.log_reliability) <= max(
+            1e-6 * abs(reference.log_reliability), 1e-300
+        )
+
+
+def test_runtime_pareto_dp(benchmark, instance):
+    chain, plat = instance
+    res = benchmark(lambda: pareto_dp_best(chain, plat, **BOUNDS))
+    assert res.method == "pareto-dp"

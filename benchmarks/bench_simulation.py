@@ -1,0 +1,54 @@
+"""Runtime/validation — the discrete-event pipeline simulator.
+
+Times the simulator's event throughput on a paper-scale mapping and
+validates Monte Carlo convergence to Eq. (9) at inflated failure rates
+(at 1e-8 nothing fails in any feasible number of trials — the reason
+the paper computes reliability analytically).
+"""
+
+import pytest
+
+from repro.algorithms import optimize_reliability
+from repro.core import Platform, random_chain, evaluate_mapping
+from repro.simulation import BernoulliFaults, PipelineSimulator, simulate_mapping
+from benchmarks.conftest import emit
+
+
+@pytest.fixture(scope="module")
+def mapping():
+    chain = random_chain(15, rng=21)
+    plat = Platform.homogeneous_platform(
+        10, failure_rate=1e-4, link_failure_rate=1e-4, max_replication=3
+    )
+    return optimize_reliability(chain, plat).mapping
+
+
+def test_simulator_event_throughput(benchmark, mapping):
+    ev = evaluate_mapping(mapping)
+
+    def run():
+        sim = PipelineSimulator(mapping, faults=BernoulliFaults(rng=1))
+        return sim.run(n_datasets=500, period=ev.worst_case_period)
+
+    run_result = benchmark(run)
+    emit()
+    emit(
+        f"\n{run_result.events_processed} events, "
+        f"{run_result.n_completed}/{run_result.n_datasets} data sets completed"
+    )
+    assert run_result.events_processed > 0
+
+
+def test_simulator_converges_to_eq9(benchmark, mapping):
+    summary = benchmark.pedantic(
+        lambda: simulate_mapping(mapping, n_datasets=4000, rng=9),
+        rounds=1,
+        iterations=1,
+    )
+    lo, hi = summary.reliability_interval
+    emit()
+    emit(
+        f"analytic r = {summary.analytical.reliability:.6f}, "
+        f"simulated = {summary.simulated_reliability:.6f}, CI = [{lo:.6f}, {hi:.6f}]"
+    )
+    assert summary.reliability_consistent

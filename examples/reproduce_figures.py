@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's evaluation figures (Figures 6-15).
+
+Usage:
+    python examples/reproduce_figures.py fig6 [fig7 ...] [options]
+    python examples/reproduce_figures.py all --instances 100 --grid full
+
+Options:
+    --instances N   instances per experiment (default 20; paper: 100)
+    --grid G        'reduced' (default) or 'full' (paper resolution)
+    --exact M       'ilp' (default) or 'pareto-dp' (faster, same optima)
+    --seed S        master seed (default 0)
+    --json DIR      also dump each figure's series as JSON into DIR
+
+Figure pairs share one sweep (e.g. fig6/fig7), which is computed once.
+"""
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.figures import EXPERIMENTS, FIGURES, run_experiment, run_figure
+from repro.experiments.report import ascii_chart, render_figure, series_to_json
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("figures", nargs="+", help="fig6..fig15, or 'all'")
+    parser.add_argument("--instances", type=int, default=20)
+    parser.add_argument("--grid", choices=("reduced", "full"), default="reduced")
+    parser.add_argument("--exact", choices=("ilp", "pareto-dp"), default="ilp")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", type=pathlib.Path, default=None)
+    args = parser.parse_args(argv)
+
+    wanted = list(FIGURES) if "all" in args.figures else args.figures
+    for fig in wanted:
+        if fig not in FIGURES:
+            parser.error(f"unknown figure {fig!r}; choose from {sorted(FIGURES)}")
+
+    # Group requested figures by experiment so each sweep runs once.
+    by_experiment: dict[str, list[str]] = {}
+    for fig in wanted:
+        by_experiment.setdefault(FIGURES[fig][0], []).append(fig)
+
+    for exp_id, figs in by_experiment.items():
+        spec = EXPERIMENTS[exp_id]
+        print(f"== running experiment {exp_id}: {spec.description}")
+        exp = run_experiment(
+            exp_id,
+            n_instances=args.instances,
+            grid=args.grid,
+            seed=args.seed,
+            exact_method=args.exact,
+        )
+        for fig in figs:
+            result = run_figure(fig, experiment_result=exp)
+            print()
+            print(render_figure(result))
+            print()
+            print(ascii_chart(result))
+            print()
+            if args.json is not None:
+                args.json.mkdir(parents=True, exist_ok=True)
+                path = args.json / f"{fig}.json"
+                path.write_text(series_to_json(result))
+                print(f"   wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package that PEP 517/660
+editable installs require; this shim lets ``pip install -e .`` take the
+legacy ``setup.py develop`` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

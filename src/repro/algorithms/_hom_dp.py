@@ -1,0 +1,176 @@
+"""Shared dynamic-programming core for Algorithms 1 and 2 (homogeneous).
+
+Algorithm 1 (Section 5.1) is, in the paper's own words, "a simplified
+version of Algorithm 2" — the period bound is simply absent.  Both public
+entry points therefore delegate to :func:`hom_reliability_dp`, which runs
+the recurrence
+
+    ``F(i, k) = max over j < i, 1 <= q <= min(K, k) of
+      F(j, k - q) * (1 - (1 - rcomm_j * prod_{j < l <= i} r_l * rcomm_i)^q)``
+
+in the log domain, with an optional per-interval period-feasibility
+filter ``max(o_j / b, W(j+1..i) / s, o_i / b) <= P`` (Algorithm 2
+line 13).  States are (number of tasks mapped, processors used); parent
+pointers reconstruct the optimal mapping.
+
+Note the index correction relative to the preprint's Algorithm 1 line 10
+(``rcomm,j-1`` / ``prod_{j<=l<=i}``): the interval appended after a prefix
+of ``j`` mapped tasks is ``tau_{j+1}..tau_i``, i.e. the consistent form
+printed in Algorithm 2 (see DESIGN.md, "known typos" #1-#2).
+
+The DP is vectorized over the processor-count axis per the HPC guides:
+the inner maximization is a shifted NumPy slice update rather than a
+Python loop over ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.chain import TaskChain
+from repro.core.evaluation import comm_log_reliability
+from repro.core.interval import Interval
+from repro.core.mapping import Mapping
+from repro.core.platform import Platform
+from repro.util import logrel
+
+__all__ = ["hom_reliability_dp", "require_homogeneous", "HomDPResult"]
+
+
+class HomDPResult:
+    """Raw outcome of the homogeneous reliability DP.
+
+    Attributes
+    ----------
+    log_reliability:
+        Best achievable log-reliability (``-inf`` if no feasible mapping,
+        which can only happen under a period bound).
+    mapping:
+        The optimal mapping with replicas assigned to processors
+        ``0, 1, 2, ...`` (processor identity is irrelevant on a
+        homogeneous platform), or ``None``.
+    table:
+        The full ``F`` table (``(n+1) x (p+1)``), exposed for tests.
+    """
+
+    __slots__ = ("log_reliability", "mapping", "table")
+
+    def __init__(self, log_reliability: float, mapping: Mapping | None, table: np.ndarray):
+        self.log_reliability = log_reliability
+        self.mapping = mapping
+        self.table = table
+
+
+def require_homogeneous(platform: Platform, algorithm: str) -> None:
+    """Raise if *platform* is heterogeneous.
+
+    The Section 5 algorithms are only optimal (Theorems 1 and 2) on fully
+    homogeneous platforms; running them elsewhere would silently produce
+    wrong answers, so we refuse (Section 6 proves the heterogeneous
+    problem NP-complete).
+    """
+    if not platform.homogeneous:
+        raise ValueError(
+            f"{algorithm} requires a fully homogeneous platform "
+            "(same speed and failure rate on every processor); "
+            "use the heuristics of repro.algorithms.heuristics instead"
+        )
+
+
+def hom_reliability_dp(
+    chain: TaskChain,
+    platform: Platform,
+    max_period: float = math.inf,
+) -> HomDPResult:
+    """Run the Algorithm 1/2 recurrence and reconstruct the best mapping.
+
+    Parameters
+    ----------
+    chain, platform:
+        The instance; *platform* must be homogeneous.
+    max_period:
+        The period bound ``P`` of Algorithm 2; ``inf`` recovers
+        Algorithm 1 exactly.
+
+    Complexity: ``O(n^2 * p * K)`` time, ``O(n * p)`` space (plus the
+    ``O(n^2)`` branch table), matching Theorems 1 and 2 (``K <= p``).
+    """
+    require_homogeneous(platform, "the homogeneous reliability DP")
+    n, p = chain.n, platform.p
+    kmax = min(platform.max_replication, p)
+    s = float(platform.speeds[0])
+    lam = float(platform.failure_rates[0])
+    b = platform.bandwidth
+
+    # Branch log-reliability of every candidate interval [j, i):
+    #   ell_b[j, i] = log(rcomm_j) - lam * W(j, i) / s + log(rcomm_i)
+    prefix = np.concatenate(([0.0], np.cumsum(chain.work)))
+    ell_comm = np.array(
+        [comm_log_reliability(platform, chain.input_of(j)) for j in range(n)]
+        + [comm_log_reliability(platform, chain.output_of(n))]
+    )
+    # ell_comm[j] = log rcomm of the data crossing the boundary before
+    # task j (and ell_comm[n] the boundary after the last task).
+
+    # Period feasibility of interval [j, i) (Algorithm 2 line 13):
+    #   max(o_in/b, W/s, o_out/b) <= P.
+    comm_in_time = np.array([chain.input_of(j) / b for j in range(n)])
+    comm_out_time = np.array([chain.output_of(i) / b for i in range(1, n + 1)])
+
+    NEG = -math.inf
+    F = np.full((n + 1, p + 1), NEG)
+    F[0, 0] = 0.0
+    parent_j = np.full((n + 1, p + 1), -1, dtype=np.int64)
+    parent_q = np.full((n + 1, p + 1), -1, dtype=np.int64)
+
+    qs = np.arange(1, kmax + 1)
+    for i in range(1, n + 1):
+        out_ok = comm_out_time[i - 1] <= max_period
+        if not out_ok:
+            # Any interval ending at i violates the period bound through
+            # its outgoing communication; no transition can land on i.
+            continue
+        for j in range(0, i):
+            work = float(prefix[i] - prefix[j])
+            if work / s > max_period or comm_in_time[j] > max_period:
+                continue
+            ell_branch = ell_comm[j] - lam * work / s + ell_comm[i]
+            stage = logrel.parallel_k_many(ell_branch, qs)  # shape (kmax,)
+            row_j = F[j]
+            row_i = F[i]
+            for q in range(1, kmax + 1):
+                cand = row_j[: p + 1 - q] + stage[q - 1]
+                dest = row_i[q:]
+                better = cand > dest
+                if np.any(better):
+                    dest[better] = cand[better]
+                    idx = np.nonzero(better)[0] + q
+                    parent_j[i, idx] = j
+                    parent_q[i, idx] = q
+
+    best_k = int(np.argmax(F[n, 1:])) + 1 if n >= 1 else 0
+    best = float(F[n, best_k]) if n >= 1 else 0.0
+    if not np.isfinite(best):
+        return HomDPResult(NEG, None, F)
+
+    # Reconstruct intervals (right to left), then assign processor ids
+    # 0, 1, 2, ... — identity is irrelevant on a homogeneous platform.
+    pieces: list[tuple[int, int, int]] = []  # (start, stop, q)
+    i, k = n, best_k
+    while i > 0:
+        j, q = int(parent_j[i, k]), int(parent_q[i, k])
+        if j < 0:
+            raise AssertionError("broken parent chain in homogeneous DP")
+        pieces.append((j, i, q))
+        i, k = j, k - q
+    pieces.reverse()
+    assignment = []
+    next_proc = 0
+    for start, stop, q in pieces:
+        procs = tuple(range(next_proc, next_proc + q))
+        next_proc += q
+        assignment.append((Interval(start, stop), procs))
+    mapping = Mapping(chain, platform, assignment)
+    return HomDPResult(best, mapping, F)

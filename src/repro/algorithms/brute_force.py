@@ -1,0 +1,176 @@
+"""Exhaustive mapping enumeration — the oracle for tiny instances.
+
+These enumerators exist to *validate* every other algorithm in the
+library (the optimal DPs, Algo-Alloc's Theorem-4 optimality, the exact
+Pareto DP, the ILP, and the heuristics' feasibility) on instances small
+enough to enumerate.  They are deliberately simple and unoptimized; a
+guard refuses instances whose search space would be unreasonably large.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence
+
+from repro.algorithms.result import SolveResult
+from repro.core.chain import TaskChain
+from repro.core.evaluation import evaluate_mapping
+from repro.core.interval import Interval, partitions_with_m_intervals
+from repro.core.mapping import Mapping
+from repro.core.platform import Platform
+
+__all__ = [
+    "enumerate_mappings_hom",
+    "enumerate_mappings_het",
+    "brute_force_best",
+]
+
+#: Refuse search spaces larger than this many candidate mappings.
+DEFAULT_BUDGET = 2_000_000
+
+
+def _replica_count_vectors(m: int, p: int, K: int) -> Iterator[tuple[int, ...]]:
+    """All ``(q_1 .. q_m)`` with ``1 <= q_j <= K`` and ``sum q_j <= p``."""
+
+    def rec(j: int, left: int) -> Iterator[tuple[int, ...]]:
+        if j == m:
+            yield ()
+            return
+        # Must leave at least m - j - 1 processors for later intervals.
+        for q in range(1, min(K, left - (m - j - 1)) + 1):
+            for tail in rec(j + 1, left - q):
+                yield (q, *tail)
+
+    if p >= m:
+        yield from rec(0, p)
+
+
+def enumerate_mappings_hom(
+    chain: TaskChain, platform: Platform
+) -> Iterator[Mapping]:
+    """Every interval mapping of a *homogeneous* instance, up to the
+    (irrelevant) identity of the processors within each replica set.
+
+    Replica sets are assigned consecutive processor ids; on a
+    homogeneous platform every actual mapping is equivalent to exactly
+    one of these.
+    """
+    if not platform.homogeneous:
+        raise ValueError("enumerate_mappings_hom requires a homogeneous platform")
+    p, K = platform.p, platform.max_replication
+    for partition in partitions_with_m_intervals(chain.n, max_m=p):
+        m = len(partition)
+        for qs in _replica_count_vectors(m, p, K):
+            nxt = 0
+            assignment = []
+            for iv, q in zip(partition, qs):
+                assignment.append((iv, tuple(range(nxt, nxt + q))))
+                nxt += q
+            yield Mapping(chain, platform, assignment)
+
+
+def _subsets(pool: Sequence[int], max_size: int) -> Iterator[tuple[int, ...]]:
+    """Non-empty subsets of *pool* with at most *max_size* elements."""
+    pool = list(pool)
+
+    def rec(idx: int, chosen: list[int]) -> Iterator[tuple[int, ...]]:
+        if chosen and len(chosen) <= max_size:
+            yield tuple(chosen)
+        if idx == len(pool) or len(chosen) == max_size:
+            return
+        for i in range(idx, len(pool)):
+            chosen.append(pool[i])
+            yield from rec(i + 1, chosen)
+            chosen.pop()
+
+    yield from rec(0, [])
+
+
+def enumerate_mappings_het(
+    chain: TaskChain, platform: Platform
+) -> Iterator[Mapping]:
+    """Every interval mapping of a (possibly heterogeneous) instance.
+
+    Enumerates, for each chain partition, every assignment of pairwise
+    disjoint non-empty processor subsets of size at most ``K`` to the
+    intervals.  Exponential in every direction — tiny instances only.
+    """
+    p, K = platform.p, platform.max_replication
+    all_procs = list(range(p))
+
+    def assign(
+        partition: list[Interval], j: int, free: list[int], acc: list[tuple[Interval, tuple[int, ...]]]
+    ) -> Iterator[Mapping]:
+        if j == len(partition):
+            yield Mapping(chain, platform, list(acc))
+            return
+        if len(free) < len(partition) - j:
+            return
+        for procs in _subsets(free, K):
+            acc.append((partition[j], procs))
+            rest = [u for u in free if u not in procs]
+            yield from assign(partition, j + 1, rest, acc)
+            acc.pop()
+
+    for partition in partitions_with_m_intervals(chain.n, max_m=p):
+        yield from assign(list(partition), 0, all_procs, [])
+
+
+def _search_space_hom(n: int, p: int, K: int) -> float:
+    """Loose upper bound on the homogeneous search-space size."""
+    return (2 ** (n - 1)) * (K ** min(n, p))
+
+
+def _search_space_het(n: int, p: int, K: int) -> float:
+    """Loose upper bound on the heterogeneous search-space size."""
+    return (2 ** (n - 1)) * float(p + 1) ** min(n, p, K * p)
+
+
+def brute_force_best(
+    chain: TaskChain,
+    platform: Platform,
+    max_period: float = math.inf,
+    max_latency: float = math.inf,
+    worst_case: bool = True,
+    budget: int = DEFAULT_BUDGET,
+) -> SolveResult:
+    """Exhaustively find the most reliable mapping within the bounds.
+
+    Parameters
+    ----------
+    worst_case:
+        Compare worst-case (default) or expected period/latency against
+        the bounds; irrelevant on homogeneous platforms.
+    budget:
+        Guard on the estimated search-space size; :class:`ValueError`
+        when exceeded (use the polynomial algorithms instead).
+    """
+    n, p, K = chain.n, platform.p, platform.max_replication
+    hom = platform.homogeneous
+    estimate = _search_space_hom(n, p, K) if hom else _search_space_het(n, p, K)
+    if estimate > budget:
+        raise ValueError(
+            f"search space ~{estimate:.2e} exceeds budget {budget}; "
+            "brute force is for tiny instances only"
+        )
+    enum = enumerate_mappings_hom if hom else enumerate_mappings_het
+    best = None
+    explored = 0
+    for mapping in enum(chain, platform):
+        explored += 1
+        ev = evaluate_mapping(mapping)
+        if not ev.meets(
+            max_period=max_period, max_latency=max_latency, worst_case=worst_case
+        ):
+            continue
+        if best is None or ev.log_reliability > best[0]:
+            best = (ev.log_reliability, mapping, ev)
+    if best is None:
+        return SolveResult.infeasible("brute-force", explored=explored)
+    return SolveResult(
+        feasible=True,
+        mapping=best[1],
+        evaluation=best[2],
+        method="brute-force",
+        details={"explored": explored},
+    )

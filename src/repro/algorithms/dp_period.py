@@ -1,0 +1,142 @@
+"""Algorithm 2 — reliability optimization under a period bound, and its
+converse (Section 5.2).
+
+Theorem 2: on fully homogeneous platforms, the dynamic program computes
+in ``O(n^2 p^2)`` the most reliable mapping whose period does not exceed
+a bound ``P`` (on such platforms expected and worst-case period
+coincide).
+
+The converse problem — minimize the period subject to a reliability
+bound — "is polynomial too: we can simply perform a binary search on the
+period and repeatedly execute Algorithm 2" (end of Section 5.2).  The
+period of any mapping takes one of ``O(n^2)`` values (an interval
+computation time ``W(i,j)/s`` or a communication time ``o_i/b``), so the
+binary search runs over that finite candidate set and terminates with
+the exact optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms._hom_dp import hom_reliability_dp, require_homogeneous
+from repro.algorithms.result import SolveResult
+from repro.core.chain import TaskChain
+from repro.core.evaluation import evaluate_mapping
+from repro.core.platform import Platform
+
+__all__ = ["optimize_reliability_period", "optimize_period_reliability"]
+
+
+def optimize_reliability_period(
+    chain: TaskChain, platform: Platform, max_period: float
+) -> SolveResult:
+    """Most reliable mapping with period ``<= max_period`` (Algorithm 2).
+
+    Returns an infeasible :class:`SolveResult` when no interval division
+    satisfies the bound (e.g. a single task's execution or communication
+    time already exceeds it).
+
+    Examples
+    --------
+    >>> from repro.core import TaskChain, Platform
+    >>> chain = TaskChain([6.0, 6.0], [1.0, 0.0])
+    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-4,
+    ...                                      max_replication=2)
+    >>> optimize_reliability_period(chain, plat, max_period=8.0).mapping.m
+    2
+    >>> optimize_reliability_period(chain, plat, max_period=5.0).feasible
+    False
+    """
+    if max_period <= 0:
+        raise ValueError(f"max_period must be > 0, got {max_period!r}")
+    dp = hom_reliability_dp(chain, platform, max_period=max_period)
+    if dp.mapping is None:
+        return SolveResult.infeasible("algorithm-2", max_period=max_period)
+    return SolveResult(
+        feasible=True,
+        mapping=dp.mapping,
+        evaluation=evaluate_mapping(dp.mapping),
+        method="algorithm-2",
+        details={"dp_log_reliability": dp.log_reliability, "max_period": max_period},
+    )
+
+
+def candidate_periods(chain: TaskChain, platform: Platform) -> np.ndarray:
+    """All values the period of a mapping can take, sorted increasing.
+
+    The period (Eq. (6)/(8), homogeneous) is a maximum of interval
+    computation times ``W(i,j)/s`` and communication times ``o_i/b``, so
+    it always equals one of these ``O(n^2)`` numbers.
+    """
+    n = chain.n
+    s = float(platform.speeds[0])
+    b = platform.bandwidth
+    prefix = np.concatenate(([0.0], np.cumsum(chain.work)))
+    values = {
+        float(prefix[i] - prefix[j]) / s for j in range(n) for i in range(j + 1, n + 1)
+    }
+    values.update(float(o) / b for o in chain.output)
+    # A period of 0 is meaningless (every interval computes for > 0 time);
+    # drop non-positive candidates such as the o_n = 0 convention's 0.
+    return np.array(sorted(v for v in values if v > 0.0))
+
+
+def optimize_period_reliability(
+    chain: TaskChain,
+    platform: Platform,
+    min_log_reliability: float,
+) -> SolveResult:
+    """Minimize the period subject to a reliability bound (Section 5.2).
+
+    Binary search over :func:`candidate_periods`, re-running Algorithm 2
+    at each probe; the smallest candidate whose optimal reliability meets
+    ``min_log_reliability`` is the exact optimum.
+
+    Parameters
+    ----------
+    min_log_reliability:
+        Lower bound on ``log r`` (use
+        :func:`repro.util.logrel.from_reliability` to convert a plain
+        reliability).
+    """
+    require_homogeneous(platform, "period minimization under a reliability bound")
+    if min_log_reliability > 0.0 or math.isnan(min_log_reliability):
+        raise ValueError("min_log_reliability must be a log-probability (<= 0)")
+    candidates = candidate_periods(chain, platform)
+
+    # Feasibility check at the loosest bound (equivalent to Algorithm 1).
+    best_unbounded = hom_reliability_dp(chain, platform)
+    if best_unbounded.log_reliability < min_log_reliability:
+        return SolveResult.infeasible(
+            "period-binary-search",
+            min_log_reliability=min_log_reliability,
+            best_achievable=best_unbounded.log_reliability,
+        )
+
+    lo, hi = 0, len(candidates) - 1  # invariant: candidates[hi] feasible
+    probes = 0
+    while lo < hi:
+        mid = (lo + hi) // 2
+        probes += 1
+        dp = hom_reliability_dp(chain, platform, max_period=float(candidates[mid]))
+        if dp.log_reliability >= min_log_reliability:
+            hi = mid
+        else:
+            lo = mid + 1
+    best_period = float(candidates[hi])
+    dp = hom_reliability_dp(chain, platform, max_period=best_period)
+    assert dp.mapping is not None
+    return SolveResult(
+        feasible=True,
+        mapping=dp.mapping,
+        evaluation=evaluate_mapping(dp.mapping),
+        method="period-binary-search",
+        details={
+            "optimal_period": best_period,
+            "probes": probes,
+            "candidates": len(candidates),
+        },
+    )

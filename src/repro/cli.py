@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``
+    Find the best mapping for an instance (JSON files for the chain and
+    platform), with optional period/latency bounds and a choice of
+    method.
+``evaluate``
+    Print the Section 4 objectives of a mapping (JSON file).
+``simulate``
+    Run the fault-injecting pipeline simulator on a mapping and compare
+    against the analytical values.
+``figures``
+    Regenerate paper figures (thin wrapper over
+    :mod:`repro.experiments.figures`).
+``demo``
+    Solve a seeded random instance end to end — no files needed.
+
+All inputs/outputs use the :mod:`repro.io` JSON format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+
+from repro import __version__
+from repro.algorithms import (
+    brute_force_best,
+    heuristic_best,
+    ilp_best,
+    optimize_reliability,
+    pareto_dp_best,
+)
+from repro.core import Platform, TaskChain, evaluate_mapping, random_chain, random_platform
+from repro.core.mapping import Mapping
+from repro.io import dumps, loads
+
+__all__ = ["main", "build_parser"]
+
+METHOD_DISPATCH = {
+    "auto": None,
+    "ilp": lambda c, p, P, L: ilp_best(c, p, max_period=P, max_latency=L),
+    "pareto-dp": lambda c, p, P, L: pareto_dp_best(c, p, max_period=P, max_latency=L),
+    "heuristic": lambda c, p, P, L: heuristic_best(c, p, max_period=P, max_latency=L),
+    "brute-force": lambda c, p, P, L: brute_force_best(c, p, max_period=P, max_latency=L),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reliability/performance optimization of pipelined real-time systems",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="find the best mapping for an instance")
+    solve.add_argument("chain", type=pathlib.Path, help="TaskChain JSON file")
+    solve.add_argument("platform", type=pathlib.Path, help="Platform JSON file")
+    solve.add_argument("--max-period", type=float, default=math.inf)
+    solve.add_argument("--max-latency", type=float, default=math.inf)
+    solve.add_argument(
+        "--method",
+        choices=sorted(METHOD_DISPATCH),
+        default="auto",
+        help="'auto' = exact on homogeneous platforms, heuristics otherwise",
+    )
+    solve.add_argument("--output", type=pathlib.Path, help="write the mapping JSON here")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate a mapping's objectives")
+    evaluate.add_argument("mapping", type=pathlib.Path, help="Mapping JSON file")
+
+    simulate = sub.add_parser("simulate", help="fault-injection simulation of a mapping")
+    simulate.add_argument("mapping", type=pathlib.Path, help="Mapping JSON file")
+    simulate.add_argument("--datasets", type=int, default=2000)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("names", nargs="+", help="fig6..fig15 or 'all'")
+    figures.add_argument("--instances", type=int, default=20)
+    figures.add_argument("--grid", choices=("reduced", "full"), default="reduced")
+    figures.add_argument("--exact", choices=("ilp", "pareto-dp"), default="ilp")
+    figures.add_argument("--seed", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
+    demo.add_argument("--tasks", type=int, default=10)
+    demo.add_argument("--processors", type=int, default=8)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--heterogeneous", action="store_true")
+    return parser
+
+
+def _load(path: pathlib.Path, expected: type) -> object:
+    obj = loads(path.read_text())
+    if not isinstance(obj, expected):
+        raise SystemExit(f"{path} holds a {type(obj).__name__}, expected {expected.__name__}")
+    return obj
+
+
+def _print_solution(result) -> None:
+    if not result.feasible:
+        print(f"infeasible ({result.method})")
+        return
+    ev = result.evaluation
+    print(f"method           : {result.method}")
+    print(f"mapping          : {result.mapping}")
+    print(f"failure prob     : {ev.failure_probability:.6e}")
+    print(f"log reliability  : {ev.log_reliability:.6e}")
+    print(f"worst-case period: {ev.worst_case_period:g}")
+    print(f"worst-case latency: {ev.worst_case_latency:g}")
+
+
+def _cmd_solve(args) -> int:
+    chain = _load(args.chain, TaskChain)
+    platform = _load(args.platform, Platform)
+    method = args.method
+    if method == "auto":
+        method = "pareto-dp" if platform.homogeneous else "heuristic"
+    result = METHOD_DISPATCH[method](chain, platform, args.max_period, args.max_latency)
+    _print_solution(result)
+    if result.feasible and args.output:
+        args.output.write_text(dumps(result.mapping, indent=2))
+        print(f"wrote {args.output}")
+    return 0 if result.feasible else 1
+
+
+def _cmd_evaluate(args) -> int:
+    mapping = _load(args.mapping, Mapping)
+    ev = evaluate_mapping(mapping)
+    print(json.dumps(
+        {
+            "log_reliability": ev.log_reliability,
+            "failure_probability": ev.failure_probability,
+            "expected_latency": ev.expected_latency,
+            "worst_case_latency": ev.worst_case_latency,
+            "expected_period": ev.expected_period,
+            "worst_case_period": ev.worst_case_period,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.simulation import validate_against_analytical
+
+    mapping = _load(args.mapping, Mapping)
+    report = validate_against_analytical(
+        mapping, n_datasets=args.datasets, rng=args.seed
+    )
+    print(json.dumps({k: v for k, v in report.items() if not isinstance(v, tuple)},
+                     indent=2, default=float))
+    return 0 if report["all_ok"] else 1
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments.figures import FIGURES, run_experiment, run_figure
+    from repro.experiments.report import render_figure
+
+    wanted = list(FIGURES) if "all" in args.names else args.names
+    for name in wanted:
+        if name not in FIGURES:
+            raise SystemExit(f"unknown figure {name!r}; choose from {sorted(FIGURES)}")
+    by_exp: dict[str, list[str]] = {}
+    for name in wanted:
+        by_exp.setdefault(FIGURES[name][0], []).append(name)
+    for exp_id, figs in by_exp.items():
+        exp = run_experiment(
+            exp_id,
+            n_instances=args.instances,
+            grid=args.grid,
+            seed=args.seed,
+            exact_method=args.exact,
+        )
+        for name in figs:
+            print(render_figure(run_figure(name, experiment_result=exp)))
+            print()
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed)
+    chain = random_chain(args.tasks, rng)
+    if args.heterogeneous:
+        platform = random_platform(args.processors, rng)
+    else:
+        platform = Platform.homogeneous_platform(
+            args.processors,
+            failure_rate=1e-8,
+            link_failure_rate=1e-5,
+            max_replication=3,
+        )
+    print(f"instance: {chain}, {platform}")
+    ev_bounds = evaluate_mapping(
+        heuristic_best(chain, platform).mapping
+        if not platform.homogeneous
+        else optimize_reliability(chain, platform).mapping
+    )
+    P = ev_bounds.worst_case_period * 1.2
+    L = ev_bounds.worst_case_latency * 1.2
+    print(f"derived bounds: period <= {P:g}, latency <= {L:g}\n")
+    if platform.homogeneous:
+        _print_solution(pareto_dp_best(chain, platform, max_period=P, max_latency=L))
+    else:
+        _print_solution(heuristic_best(chain, platform, max_period=P, max_latency=L))
+    return 0
+
+
+COMMANDS = {
+    "solve": _cmd_solve,
+    "evaluate": _cmd_evaluate,
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+    "demo": _cmd_demo,
+}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

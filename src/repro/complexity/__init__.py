@@ -1,0 +1,41 @@
+"""NP-completeness machinery (Sections 5.3 and 6).
+
+The paper's two hardness results are reductions:
+
+* Theorem 3 — bi-criteria (reliability, latency) on *homogeneous*
+  platforms, from 2-PARTITION;
+* Theorem 5 — mono-criterion reliability on *heterogeneous* platforms,
+  from 3-PARTITION (the ``n`` equal-sum-subsets form used in the proof).
+
+This subpackage makes the reductions executable: exact solvers for the
+source problems (:mod:`repro.complexity.partition`,
+:mod:`repro.complexity.three_partition`) and instance builders that
+produce the mapping instances of the proofs
+(:mod:`repro.complexity.reductions`), so the equivalences can be
+checked end to end on small inputs — a rare kind of test for
+theoretical results.
+"""
+
+from repro.complexity.partition import (
+    two_partition_solve,
+    random_yes_instance,
+    random_instance,
+)
+from repro.complexity.three_partition import n_way_partition_solve
+from repro.complexity.reductions import (
+    Theorem3Instance,
+    Theorem5Instance,
+    build_theorem3_instance,
+    build_theorem5_instance,
+)
+
+__all__ = [
+    "two_partition_solve",
+    "random_yes_instance",
+    "random_instance",
+    "n_way_partition_solve",
+    "Theorem3Instance",
+    "Theorem5Instance",
+    "build_theorem3_instance",
+    "build_theorem5_instance",
+]

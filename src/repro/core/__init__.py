@@ -1,0 +1,37 @@
+"""Core models of the paper: task chains, platforms, interval mappings,
+and the evaluation of a mapping's reliability / latency / period
+(Section 2 "Framework" and Section 4 "Evaluation of a given mapping").
+"""
+
+from repro.core.chain import TaskChain
+from repro.core.platform import Platform
+from repro.core.interval import Interval, compositions, partition_from_cuts
+from repro.core.mapping import Mapping
+from repro.core.evaluation import (
+    MappingEvaluation,
+    evaluate_mapping,
+    expected_cost,
+    worst_case_cost,
+    interval_log_reliability,
+    stage_log_reliability,
+    mapping_log_reliability,
+)
+from repro.core.generate import random_chain, random_platform
+
+__all__ = [
+    "TaskChain",
+    "Platform",
+    "Interval",
+    "Mapping",
+    "MappingEvaluation",
+    "compositions",
+    "partition_from_cuts",
+    "evaluate_mapping",
+    "expected_cost",
+    "worst_case_cost",
+    "interval_log_reliability",
+    "stage_log_reliability",
+    "mapping_log_reliability",
+    "random_chain",
+    "random_platform",
+]

@@ -1,0 +1,143 @@
+"""The application model: a linear chain of tasks (Section 2.1).
+
+An application is a chain of ``n`` tasks ``tau_1 .. tau_n``.  Task ``i``
+is the pair ``(w_i, o_i)``: a known amount of work and the size of its
+output data set.  By the paper's convention ``o_n = 0`` because the last
+task emits its result directly to the environment through actuator
+drivers; :class:`TaskChain` does *not* force this (some algebraic
+identities are easier to test with a free last output), but the canonical
+generators in :mod:`repro.core.generate` and the experiment suites follow
+the convention.
+
+Indexing is 0-based throughout the code; the paper is 1-based.  Paper
+task ``tau_i`` is index ``i - 1`` here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import as_float_array
+
+__all__ = ["TaskChain"]
+
+
+class TaskChain:
+    """Immutable chain of ``n`` tasks with work and output-size vectors.
+
+    Parameters
+    ----------
+    work:
+        ``w_i > 0`` for each task — the amount of computation, in work
+        units (executing on a processor of speed ``s`` takes ``w/s`` time
+        units).
+    output:
+        ``o_i >= 0`` for each task — the size of the output data set
+        (transmitting over a link of bandwidth ``b`` takes ``o/b`` time
+        units).  ``output[-1]`` is conventionally 0.
+
+    Examples
+    --------
+    >>> chain = TaskChain(work=[4.0, 2.0, 6.0], output=[1.0, 3.0, 0.0])
+    >>> chain.n
+    3
+    >>> chain.work_between(0, 2)   # w_1 + w_2 in paper terms
+    6.0
+    """
+
+    __slots__ = ("_work", "_output", "_prefix")
+
+    def __init__(self, work: Sequence[float], output: Sequence[float]) -> None:
+        w = as_float_array(work, "work")
+        o = as_float_array(output, "output")
+        if w.shape != o.shape:
+            raise ValueError(
+                f"work and output must have the same length, got {w.size} and {o.size}"
+            )
+        if np.any(w <= 0):
+            raise ValueError("all work amounts must be > 0")
+        if np.any(o < 0):
+            raise ValueError("all output sizes must be >= 0")
+        w.setflags(write=False)
+        o.setflags(write=False)
+        self._work = w
+        self._output = o
+        # Prefix sums for O(1) interval-work queries: prefix[i] = sum(w[:i]).
+        prefix = np.concatenate(([0.0], np.cumsum(w)))
+        prefix.setflags(write=False)
+        self._prefix = prefix
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of tasks in the chain."""
+        return self._work.size
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def work(self) -> np.ndarray:
+        """Read-only vector of work amounts ``w_i``."""
+        return self._work
+
+    @property
+    def output(self) -> np.ndarray:
+        """Read-only vector of output data sizes ``o_i``."""
+        return self._output
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all work — invariant under any interval partition."""
+        return float(self._prefix[-1])
+
+    # -- interval queries ---------------------------------------------------
+
+    def work_between(self, start: int, stop: int) -> float:
+        """Total work of tasks ``start .. stop-1`` (half-open, 0-based).
+
+        This is the paper's ``W_j`` for the interval covering those tasks.
+        """
+        if not 0 <= start < stop <= self.n:
+            raise ValueError(
+                f"invalid interval [{start}, {stop}) for a chain of {self.n} tasks"
+            )
+        return float(self._prefix[stop] - self._prefix[start])
+
+    def output_of(self, stop: int) -> float:
+        """Output size of the interval ending at ``stop`` (half-open).
+
+        Equals ``o_{l_j}`` — the output of the interval's last task.
+        """
+        if not 0 < stop <= self.n:
+            raise ValueError(f"invalid interval end {stop} for {self.n} tasks")
+        return float(self._output[stop - 1])
+
+    def input_of(self, start: int) -> float:
+        """Input size consumed by the interval starting at ``start``.
+
+        Equals the output of the preceding task, or 0 for the first
+        interval (the paper's ``o_0 = 0`` convention).
+        """
+        if not 0 <= start < self.n:
+            raise ValueError(f"invalid interval start {start} for {self.n} tasks")
+        return 0.0 if start == 0 else float(self._output[start - 1])
+
+    # -- dunder conveniences --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TaskChain):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._work, other._work)
+            and np.array_equal(self._output, other._output)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._work.tobytes(), self._output.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"TaskChain(n={self.n}, total_work={self.total_work:g})"

@@ -1,0 +1,175 @@
+"""Multiprocessor interval mappings with replication (Sections 2.3, 2.5, 2.6).
+
+A :class:`Mapping` assigns each interval of a chain partition to a
+non-empty set of at most ``K`` processors (its *replicas*), with every
+processor executing at most one interval.  Routing operations between
+consecutive intervals are implicit: the evaluation (Eq. (9)) and the
+simulator both assume the serial-parallel RBD form of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.core.chain import TaskChain
+from repro.core.interval import Interval, validate_partition
+from repro.core.platform import Platform
+
+__all__ = ["Mapping"]
+
+
+class Mapping:
+    """An interval mapping: ordered ``(interval, replica processors)`` pairs.
+
+    Parameters
+    ----------
+    chain:
+        The application chain being mapped.
+    platform:
+        The target platform.
+    assignment:
+        Sequence of ``(Interval, processors)`` pairs in chain order.
+        ``processors`` is any iterable of distinct 0-based processor
+        indices; it is stored as a sorted tuple.
+
+    Raises
+    ------
+    ValueError
+        If the intervals do not partition the chain, a processor is
+        reused across intervals (or within one), an interval has no
+        replica, or an interval exceeds ``K`` replicas.
+
+    Examples
+    --------
+    >>> chain = TaskChain([1.0, 2.0, 3.0], [1.0, 1.0, 0.0])
+    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-6,
+    ...                                      max_replication=2)
+    >>> m = Mapping(chain, plat, [(Interval(0, 2), (0, 1)),
+    ...                           (Interval(2, 3), (2,))])
+    >>> m.m
+    2
+    >>> m.processors_used
+    3
+    """
+
+    __slots__ = ("_chain", "_platform", "_intervals", "_replicas")
+
+    def __init__(
+        self,
+        chain: TaskChain,
+        platform: Platform,
+        assignment: Sequence[tuple[Interval, Sequence[int]]],
+    ) -> None:
+        intervals = [iv for iv, _ in assignment]
+        validate_partition(chain.n, intervals)
+        replicas: list[tuple[int, ...]] = []
+        seen: set[int] = set()
+        for iv, procs in assignment:
+            procs = tuple(sorted(int(u) for u in procs))
+            if not procs:
+                raise ValueError(f"interval [{iv.start},{iv.stop}) has no replica")
+            if len(set(procs)) != len(procs):
+                raise ValueError(
+                    f"interval [{iv.start},{iv.stop}) lists a processor twice: {procs}"
+                )
+            if len(procs) > platform.max_replication:
+                raise ValueError(
+                    f"interval [{iv.start},{iv.stop}) has {len(procs)} replicas, "
+                    f"exceeding K={platform.max_replication}"
+                )
+            for u in procs:
+                if not 0 <= u < platform.p:
+                    raise ValueError(
+                        f"processor index {u} out of range [0, {platform.p})"
+                    )
+                if u in seen:
+                    raise ValueError(
+                        f"processor {u} assigned to more than one interval"
+                    )
+                seen.add(u)
+            replicas.append(procs)
+        self._chain = chain
+        self._platform = platform
+        self._intervals = tuple(intervals)
+        self._replicas = tuple(replicas)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def chain(self) -> TaskChain:
+        """The mapped application chain."""
+        return self._chain
+
+    @property
+    def platform(self) -> Platform:
+        """The target platform."""
+        return self._platform
+
+    @property
+    def m(self) -> int:
+        """Number of intervals."""
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The chain partition, in order."""
+        return self._intervals
+
+    @property
+    def replicas(self) -> tuple[tuple[int, ...], ...]:
+        """Replica processor tuples, aligned with :attr:`intervals`."""
+        return self._replicas
+
+    @property
+    def processors_used(self) -> int:
+        """Total number of processors enrolled by the mapping."""
+        return sum(len(r) for r in self._replicas)
+
+    @property
+    def replication_level(self) -> float:
+        """Average number of replicas per interval (Section 1)."""
+        return self.processors_used / self.m
+
+    def __iter__(self) -> Iterator[tuple[Interval, tuple[int, ...]]]:
+        return iter(zip(self._intervals, self._replicas))
+
+    def __len__(self) -> int:
+        return self.m
+
+    # -- structured accessors ---------------------------------------------------
+
+    def interval_work(self, j: int) -> float:
+        """Work ``W_j`` of interval *j* (0-based)."""
+        iv = self._intervals[j]
+        return self._chain.work_between(iv.start, iv.stop)
+
+    def interval_output(self, j: int) -> float:
+        """Output data size ``o_{l_j}`` of interval *j* (0 for the last one
+        when the chain follows the ``o_n = 0`` convention)."""
+        return self._chain.output_of(self._intervals[j].stop)
+
+    def interval_input(self, j: int) -> float:
+        """Input data size of interval *j* (``o_0 = 0`` for the first)."""
+        return self._chain.input_of(self._intervals[j].start)
+
+    # -- dunder conveniences ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Mapping):
+            return NotImplemented
+        return (
+            self._chain == other._chain
+            and self._platform == other._platform
+            and self._intervals == other._intervals
+            and self._replicas == other._replicas
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._chain, self._platform, self._intervals, self._replicas))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{iv.start},{iv.stop})->{list(procs)}"
+            for iv, procs in zip(self._intervals, self._replicas)
+        )
+        return f"Mapping({parts})"

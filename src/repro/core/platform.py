@@ -1,0 +1,184 @@
+"""The platform model (Section 2.2) and failure model (Section 2.4).
+
+A platform is ``p`` processors connected by point-to-point links.
+Links are homogeneous: one bandwidth ``b`` and one failure rate
+``lambda_link`` for all of them.  Processors may differ in speed ``s_u``
+and failure rate ``lambda_u`` (heterogeneous platform); when all speeds
+and all failure rates coincide the platform is *homogeneous* and the
+polynomial algorithms of Section 5 apply.
+
+The bounded multi-port assumption (at most ``K`` simultaneous outgoing
+connections per processor) caps the number of replicas per interval at
+``K`` (Section 2.5).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import as_float_array, check_positive, check_nonnegative
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """Immutable distributed platform description.
+
+    Parameters
+    ----------
+    speeds:
+        Processor speeds ``s_u > 0`` (work units per time unit).
+    failure_rates:
+        Processor failure rates ``lambda_u >= 0`` per time unit.
+    bandwidth:
+        Common link bandwidth ``b > 0`` (data units per time unit).
+    link_failure_rate:
+        Common link failure rate ``lambda_link >= 0`` per time unit.
+    max_replication:
+        The bound ``K >= 1`` on outgoing connections, hence on the number
+        of replicas per interval.
+
+    Examples
+    --------
+    >>> plat = Platform(speeds=[1.0] * 4, failure_rates=[1e-8] * 4,
+    ...                 bandwidth=1.0, link_failure_rate=1e-5,
+    ...                 max_replication=3)
+    >>> plat.homogeneous
+    True
+    """
+
+    __slots__ = ("_speeds", "_rates", "_bandwidth", "_link_rate", "_K")
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        failure_rates: Sequence[float],
+        bandwidth: float = 1.0,
+        link_failure_rate: float = 0.0,
+        max_replication: int = 1,
+    ) -> None:
+        s = as_float_array(speeds, "speeds")
+        lam = as_float_array(failure_rates, "failure_rates")
+        if s.shape != lam.shape:
+            raise ValueError(
+                f"speeds and failure_rates must have the same length, "
+                f"got {s.size} and {lam.size}"
+            )
+        if np.any(s <= 0):
+            raise ValueError("all processor speeds must be > 0")
+        if np.any(lam < 0):
+            raise ValueError("all processor failure rates must be >= 0")
+        check_positive(bandwidth, "bandwidth")
+        check_nonnegative(link_failure_rate, "link_failure_rate")
+        if not isinstance(max_replication, (int, np.integer)) or max_replication < 1:
+            raise ValueError(f"max_replication must be an integer >= 1, got {max_replication!r}")
+        s.setflags(write=False)
+        lam.setflags(write=False)
+        self._speeds = s
+        self._rates = lam
+        self._bandwidth = float(bandwidth)
+        self._link_rate = float(link_failure_rate)
+        self._K = int(max_replication)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def p(self) -> int:
+        """Number of processors."""
+        return self._speeds.size
+
+    def __len__(self) -> int:
+        return self.p
+
+    @property
+    def speeds(self) -> np.ndarray:
+        """Read-only vector of processor speeds ``s_u``."""
+        return self._speeds
+
+    @property
+    def failure_rates(self) -> np.ndarray:
+        """Read-only vector of processor failure rates ``lambda_u``."""
+        return self._rates
+
+    @property
+    def bandwidth(self) -> float:
+        """Common link bandwidth ``b``."""
+        return self._bandwidth
+
+    @property
+    def link_failure_rate(self) -> float:
+        """Common link failure rate ``lambda_link``."""
+        return self._link_rate
+
+    @property
+    def max_replication(self) -> int:
+        """The bounded multi-port constant ``K`` (max replicas per interval)."""
+        return self._K
+
+    @property
+    def homogeneous(self) -> bool:
+        """True iff all processors share one speed and one failure rate.
+
+        Exactly the paper's definition (Section 2.4): heterogeneity may
+        come from speeds *or* from failure rates.
+        """
+        return bool(
+            np.all(self._speeds == self._speeds[0])
+            and np.all(self._rates == self._rates[0])
+        )
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def homogeneous_platform(
+        cls,
+        p: int,
+        speed: float = 1.0,
+        failure_rate: float = 0.0,
+        bandwidth: float = 1.0,
+        link_failure_rate: float = 0.0,
+        max_replication: int = 1,
+    ) -> "Platform":
+        """Build a fully homogeneous platform of ``p`` identical processors."""
+        if p < 1:
+            raise ValueError(f"platform needs at least one processor, got {p!r}")
+        return cls(
+            speeds=[speed] * p,
+            failure_rates=[failure_rate] * p,
+            bandwidth=bandwidth,
+            link_failure_rate=link_failure_rate,
+            max_replication=max_replication,
+        )
+
+    # -- dunder conveniences ----------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Platform):
+            return NotImplemented
+        return bool(
+            np.array_equal(self._speeds, other._speeds)
+            and np.array_equal(self._rates, other._rates)
+            and self._bandwidth == other._bandwidth
+            and self._link_rate == other._link_rate
+            and self._K == other._K
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self._speeds.tobytes(),
+                self._rates.tobytes(),
+                self._bandwidth,
+                self._link_rate,
+                self._K,
+            )
+        )
+
+    def __repr__(self) -> str:
+        kind = "homogeneous" if self.homogeneous else "heterogeneous"
+        return (
+            f"Platform(p={self.p}, {kind}, b={self._bandwidth:g}, "
+            f"lambda_link={self._link_rate:g}, K={self._K})"
+        )

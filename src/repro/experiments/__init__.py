@@ -1,0 +1,51 @@
+"""The Section 8 experimental harness.
+
+Everything needed to regenerate Figures 6-15:
+
+* :mod:`repro.experiments.instances` — the random instance suites with
+  the paper's exact distributions (homogeneous, and heterogeneous/
+  homogeneous counterpart pairs);
+* :mod:`repro.experiments.methods` — a uniform interface over the
+  compared methods (ILP, Heur-L, Heur-P, and our exact Pareto DP);
+* :mod:`repro.experiments.harness` — bound sweeps, solution counting,
+  and the paper's two failure-probability averaging rules;
+* :mod:`repro.experiments.figures` — one configuration per figure and
+  the runners that produce its series;
+* :mod:`repro.experiments.report` — ASCII rendering and JSON dumps.
+"""
+
+from repro.experiments.instances import (
+    HOM_DEFAULTS,
+    HET_DEFAULTS,
+    homogeneous_suite,
+    heterogeneous_suite,
+)
+from repro.experiments.methods import METHODS, Method, get_method
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    FIGURES,
+    FigureResult,
+    run_experiment,
+    run_figure,
+)
+from repro.experiments.report import render_series_table, series_to_json
+
+__all__ = [
+    "HOM_DEFAULTS",
+    "HET_DEFAULTS",
+    "homogeneous_suite",
+    "heterogeneous_suite",
+    "METHODS",
+    "Method",
+    "get_method",
+    "SweepResult",
+    "run_sweep",
+    "EXPERIMENTS",
+    "FIGURES",
+    "FigureResult",
+    "run_experiment",
+    "run_figure",
+    "render_series_table",
+    "series_to_json",
+]

@@ -1,0 +1,164 @@
+"""The validation-chain experiment: every representation of reliability
+must tell one story.
+
+DESIGN.md commits to a validation chain —
+
+    brute force  ⊇  Pareto-DP  ⊇  ILP(HiGHS)  ⊇  ILP(branch-and-bound)
+    Eq. (9)  ==  routed RBD (series-parallel  ==  factoring  ==  enumeration)
+    simulation  ~  Eq. (9)   (within confidence intervals)
+
+— and the unit tests check each link on fixed instances.  This module
+runs the *whole chain* over a randomized instance population and
+produces a machine-checkable report, so a regression anywhere in the
+stack shows up as a disagreement count.  It doubles as a benchmark
+target (`benchmarks/bench_crosscheck.py`) and as the recommended smoke
+test after modifying any numerical code.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.algorithms import (
+    brute_force_best,
+    heuristic_best,
+    ilp_best,
+    pareto_dp_best,
+)
+from repro.core import random_chain
+from repro.core.evaluation import mapping_log_reliability
+from repro.core.platform import Platform
+from repro.rbd import (
+    exact_log_reliability_enumeration,
+    exact_log_reliability_factoring,
+    rbd_with_routing,
+    series_parallel_log_reliability,
+)
+from repro.simulation import simulate_mapping
+from repro.util.rng import ensure_rng, spawn
+
+__all__ = ["CrosscheckReport", "run_crosscheck"]
+
+#: Relative tolerance for exact-method agreement on log-reliabilities.
+EXACT_RTOL = 1e-6
+
+
+@dataclass
+class CrosscheckReport:
+    """Aggregate outcome of one cross-check run."""
+
+    instances: int = 0
+    solver_disagreements: int = 0
+    heuristic_violations: int = 0
+    rbd_disagreements: int = 0
+    simulation_outliers: int = 0
+    details: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True iff no hard invariant was violated (simulation outliers
+        are tolerated at the ~5% CI rate, checked by the caller)."""
+        return (
+            self.solver_disagreements == 0
+            and self.heuristic_violations == 0
+            and self.rbd_disagreements == 0
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.instances} instances: "
+            f"{self.solver_disagreements} solver disagreements, "
+            f"{self.heuristic_violations} heuristic violations, "
+            f"{self.rbd_disagreements} RBD disagreements, "
+            f"{self.simulation_outliers} simulation CI misses"
+        )
+
+
+def _close(a: float, b: float) -> bool:
+    if a == b:
+        return True
+    if not (math.isfinite(a) and math.isfinite(b)):
+        return False
+    return abs(a - b) <= EXACT_RTOL * max(abs(a), abs(b), 1e-300)
+
+
+def run_crosscheck(
+    n_instances: int = 10,
+    seed: int = 0,
+    n_tasks: int = 5,
+    p: int = 4,
+    simulate: bool = True,
+) -> CrosscheckReport:
+    """Run the full validation chain over a random instance population.
+
+    Instance sizes default to brute-force-friendly values; every exact
+    method runs on every instance at randomized (P, L) bounds.
+    """
+    master = ensure_rng(seed)
+    report = CrosscheckReport()
+    for rng in spawn(master, n_instances):
+        report.instances += 1
+        chain = random_chain(n_tasks, rng)
+        K = int(rng.integers(1, 4))
+        platform = Platform.homogeneous_platform(
+            p,
+            failure_rate=10.0 ** -float(rng.uniform(2, 8)),
+            link_failure_rate=10.0 ** -float(rng.uniform(2, 5)),
+            max_replication=K,
+        )
+        P = float(rng.uniform(40, 400))
+        L = float(rng.uniform(150, 900))
+
+        # --- exact solver agreement ---------------------------------
+        bf = brute_force_best(chain, platform, max_period=P, max_latency=L)
+        pd = pareto_dp_best(chain, platform, max_period=P, max_latency=L)
+        hi = ilp_best(chain, platform, max_period=P, max_latency=L)
+        bb = ilp_best(
+            chain, platform, max_period=P, max_latency=L, backend="branch-bound"
+        )
+        values = [bf, pd, hi, bb]
+        if len({v.feasible for v in values}) != 1 or (
+            bf.feasible
+            and not all(
+                _close(v.log_reliability, bf.log_reliability) for v in values
+            )
+        ):
+            report.solver_disagreements += 1
+            report.details.append(
+                f"solvers disagree: {[v.log_reliability for v in values]}"
+            )
+            continue
+
+        # --- heuristic sanity -----------------------------------------
+        heur = heuristic_best(chain, platform, max_period=P, max_latency=L)
+        if heur.feasible and (
+            not bf.feasible or heur.log_reliability > bf.log_reliability + 1e-12
+        ):
+            report.heuristic_violations += 1
+            report.details.append("heuristic beat the optimum or bounds")
+
+        if not bf.feasible:
+            continue
+        mapping = bf.mapping
+        assert mapping is not None
+
+        # --- RBD representations -------------------------------------
+        want = mapping_log_reliability(mapping)
+        rbd = rbd_with_routing(mapping)
+        candidates = [
+            series_parallel_log_reliability(rbd),
+            exact_log_reliability_factoring(rbd),
+        ]
+        if rbd.n_blocks <= 20:
+            candidates.append(exact_log_reliability_enumeration(rbd))
+        if not all(_close(c, want) for c in candidates):
+            report.rbd_disagreements += 1
+            report.details.append(f"RBD evaluators disagree: {candidates} vs {want}")
+
+        # --- simulation ------------------------------------------------
+        if simulate:
+            summary = simulate_mapping(mapping, n_datasets=1500, rng=rng)
+            if not summary.reliability_consistent:
+                report.simulation_outliers += 1
+    return report

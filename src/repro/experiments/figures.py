@@ -1,0 +1,270 @@
+"""One configuration and runner per evaluation figure (Figures 6-15).
+
+The paper's five experiments each produce two figures (a solution-count
+plot and an average-failure-probability plot), so figures come in pairs
+sharing one sweep:
+
+=============  =====================================  ==================
+Experiment     Sweep                                  Figures
+=============  =====================================  ==================
+hom-period     hom, L = 750, P in [1, 500]            6 (count), 7 (fail)
+hom-latency    hom, P = 250, L in [500, 1100]         8 (count), 9 (fail)
+hom-linked     hom, L = 3P, P in [150, 350]           10 (count), 11 (fail)
+het-period     het vs hom5, L = 150, P in [1, 150]    12 (count), 13 (fail)
+het-latency    het vs hom5, P = 50, L in [50, 250]    14 (count), 15 (fail)
+=============  =====================================  ==================
+
+Grid sizes: ``grid="reduced"`` (default; minutes on a laptop) or
+``grid="full"`` (the paper's resolution).  Instance counts default to 20
+(reduced) / 100 (full = the paper's count).  Environment overrides
+``REPRO_INSTANCES`` and ``REPRO_GRID`` apply when parameters are left
+``None`` — convenient for the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.harness import SweepResult, run_sweep
+from repro.experiments.instances import heterogeneous_suite, homogeneous_suite
+from repro.experiments.methods import get_method
+
+__all__ = [
+    "EXPERIMENTS",
+    "FIGURES",
+    "ExperimentSpec",
+    "FigureResult",
+    "run_experiment",
+    "run_figure",
+]
+
+
+def _grid(lo: float, hi: float, reduced_points: int, full_step: float, grid: str) -> np.ndarray:
+    if grid == "full":
+        return np.arange(lo, hi + full_step / 2, full_step, dtype=float)
+    if grid == "reduced":
+        return np.linspace(lo, hi, reduced_points)
+    raise ValueError(f"unknown grid {grid!r} (use 'reduced' or 'full')")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Configuration of one paired-figure experiment."""
+
+    id: str
+    kind: str  # "hom" or "het"
+    description: str
+    #: grid name -> sweep coordinates.
+    sweep: Callable[[str], np.ndarray]
+    #: sweep coordinate -> (max_period, max_latency).
+    bounds: Callable[[float], tuple[float, float]]
+    count_figure: str = ""
+    failure_figure: str = ""
+    #: Averaging rule for the failure figure.
+    failure_rule: str = "common"
+
+
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "hom-period": ExperimentSpec(
+        id="hom-period",
+        kind="hom",
+        description="homogeneous, L = 750, sweep period bound (Figs. 6-7)",
+        sweep=lambda g: _grid(20.0, 500.0, 13, 10.0, g),
+        bounds=lambda P: (P, 750.0),
+        count_figure="fig6",
+        failure_figure="fig7",
+        failure_rule="common",
+    ),
+    "hom-latency": ExperimentSpec(
+        id="hom-latency",
+        kind="hom",
+        description="homogeneous, P = 250, sweep latency bound (Figs. 8-9)",
+        sweep=lambda g: _grid(500.0, 1100.0, 13, 10.0, g),
+        bounds=lambda L: (250.0, L),
+        count_figure="fig8",
+        failure_figure="fig9",
+        failure_rule="common",
+    ),
+    "hom-linked": ExperimentSpec(
+        id="hom-linked",
+        kind="hom",
+        description="homogeneous, L = 3P, sweep period bound (Figs. 10-11)",
+        sweep=lambda g: _grid(150.0, 350.0, 11, 5.0, g),
+        bounds=lambda P: (P, 3.0 * P),
+        count_figure="fig10",
+        failure_figure="fig11",
+        failure_rule="common",
+    ),
+    "het-period": ExperimentSpec(
+        id="het-period",
+        kind="het",
+        description="het vs hom(speed 5), L = 150, sweep period (Figs. 12-13)",
+        sweep=lambda g: _grid(10.0, 150.0, 13, 3.0, g),
+        bounds=lambda P: (P, 150.0),
+        count_figure="fig12",
+        failure_figure="fig13",
+        failure_rule="per-method",
+    ),
+    "het-latency": ExperimentSpec(
+        id="het-latency",
+        kind="het",
+        description="het vs hom(speed 5), P = 50, sweep latency (Figs. 14-15)",
+        sweep=lambda g: _grid(50.0, 250.0, 11, 4.0, g),
+        bounds=lambda L: (50.0, L),
+        count_figure="fig14",
+        failure_figure="fig15",
+        failure_rule="per-method",
+    ),
+}
+
+#: figure id -> (experiment id, metric)
+FIGURES: dict[str, tuple[str, str]] = {}
+for _spec in EXPERIMENTS.values():
+    FIGURES[_spec.count_figure] = (_spec.id, "count")
+    FIGURES[_spec.failure_figure] = (_spec.id, "failure")
+
+
+@dataclass
+class ExperimentResult:
+    """Raw sweeps of one experiment (hom: one sweep; het: two sweeps
+    whose curve labels carry ``_het`` / ``_hom`` suffixes)."""
+
+    spec: ExperimentSpec
+    xs: np.ndarray
+    sweeps: dict[str, SweepResult]
+    n_instances: int
+    grid: str
+    exact_method: str
+
+
+@dataclass
+class FigureResult:
+    """One figure's series, ready for printing or plotting."""
+
+    figure: str
+    experiment: str
+    metric: str  # "count" or "failure"
+    xs: np.ndarray
+    series: dict[str, np.ndarray]
+    n_instances: int
+    grid: str
+
+
+def _env_default(value, env: str, fallback, cast):
+    if value is not None:
+        return value
+    raw = os.environ.get(env)
+    return cast(raw) if raw else fallback
+
+
+def run_experiment(
+    experiment: str,
+    n_instances: int | None = None,
+    grid: str | None = None,
+    seed: int = 0,
+    exact_method: str = "ilp",
+) -> ExperimentResult:
+    """Run one paired-figure experiment and return its raw sweeps.
+
+    Parameters
+    ----------
+    exact_method:
+        ``"ilp"`` (the paper's reference) or ``"pareto-dp"`` (same
+        optima, faster) — used only by the homogeneous experiments.
+    """
+    if experiment not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    spec = EXPERIMENTS[experiment]
+    n_instances = _env_default(n_instances, "REPRO_INSTANCES", 20, int)
+    grid = _env_default(grid, "REPRO_GRID", "reduced", str)
+    xs = spec.sweep(grid)
+    bounds = [spec.bounds(float(x)) for x in xs]
+
+    sweeps: dict[str, SweepResult] = {}
+    if spec.kind == "hom":
+        instances = homogeneous_suite(n_instances=n_instances, seed=seed)
+        methods = [get_method(exact_method), get_method("heur-l"), get_method("heur-p")]
+        sweeps["hom"] = run_sweep(instances, methods, bounds, xs=xs)
+    else:
+        pairs = heterogeneous_suite(n_instances=n_instances, seed=seed)
+        # The "-paper" variants select best reliability before checking
+        # bounds — the reading of Section 7 that reproduces Fig. 12's
+        # non-monotone heterogeneous curves (identical on hom platforms).
+        methods = [get_method("heur-l-paper"), get_method("heur-p-paper")]
+        het_instances = [(p.chain, p.het_platform) for p in pairs]
+        hom_instances = [(p.chain, p.hom_platform) for p in pairs]
+        sweeps["het"] = run_sweep(het_instances, methods, bounds, xs=xs)
+        sweeps["hom"] = run_sweep(hom_instances, methods, bounds, xs=xs)
+    return ExperimentResult(
+        spec=spec,
+        xs=xs,
+        sweeps=sweeps,
+        n_instances=n_instances,
+        grid=grid,
+        exact_method=exact_method,
+    )
+
+
+def run_figure(
+    figure: str,
+    n_instances: int | None = None,
+    grid: str | None = None,
+    seed: int = 0,
+    exact_method: str = "ilp",
+    experiment_result: ExperimentResult | None = None,
+) -> FigureResult:
+    """Produce one figure's series (running its experiment if needed).
+
+    Pass ``experiment_result`` to reuse the sweep already computed for
+    the figure's sibling (e.g. Fig. 7 reusing Fig. 6's run).
+    """
+    if figure not in FIGURES:
+        raise ValueError(f"unknown figure {figure!r}; available: {sorted(FIGURES)}")
+    exp_id, metric = FIGURES[figure]
+    if experiment_result is None:
+        experiment_result = run_experiment(
+            exp_id,
+            n_instances=n_instances,
+            grid=grid,
+            seed=seed,
+            exact_method=exact_method,
+        )
+    elif experiment_result.spec.id != exp_id:
+        raise ValueError(
+            f"experiment result is for {experiment_result.spec.id!r}, "
+            f"figure {figure} needs {exp_id!r}"
+        )
+    spec = experiment_result.spec
+    series: dict[str, np.ndarray] = {}
+    if spec.kind == "hom":
+        sweep = experiment_result.sweeps["hom"]
+        for name in sweep.method_names:
+            label = "ilp" if name == experiment_result.exact_method else name
+            if metric == "count":
+                series[label] = sweep.counts(name)
+            else:
+                series[label] = sweep.average_failure(name, rule=spec.failure_rule)
+    else:
+        for plat_kind in ("het", "hom"):
+            sweep = experiment_result.sweeps[plat_kind]
+            for name in sweep.method_names:
+                label = f"{name.removesuffix('-paper')}_{plat_kind}"
+                if metric == "count":
+                    series[label] = sweep.counts(name)
+                else:
+                    series[label] = sweep.average_failure(name, rule=spec.failure_rule)
+    return FigureResult(
+        figure=figure,
+        experiment=exp_id,
+        metric=metric,
+        xs=experiment_result.xs,
+        series=series,
+        n_instances=experiment_result.n_instances,
+        grid=experiment_result.grid,
+    )

@@ -1,0 +1,159 @@
+"""Bound-sweep runner: solution counts and averaged failure probabilities.
+
+For a suite of instances and a list of sweep points ``(P, L)``, run each
+method on each instance at each point and aggregate the two statistics
+the paper plots:
+
+* **number of solutions** — instances for which the method found a
+  mapping within the bounds (Figures 6, 8, 10, 12, 14);
+* **average failure probability** — with two averaging rules, both used
+  by the paper:
+
+  - ``"common"`` (Figures 7, 9, 11): average over the instances where
+    *both heuristics* found a solution ("the average failure
+    probability of the instances where both heuristics have found a
+    solution", Section 8.1) — every curve is averaged over that same
+    instance set;
+  - ``"per-method"`` (Figures 13, 15): each curve averages over the
+    instances *it* solved ("the average values are then not computed on
+    the same set of instances", Section 8.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.chain import TaskChain
+from repro.core.platform import Platform
+from repro.experiments.methods import Method
+
+__all__ = ["SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepResult:
+    """Raw sweep data plus the paper's aggregations.
+
+    Attributes
+    ----------
+    xs:
+        The sweep coordinate (one per sweep point) — a period or a
+        latency bound, depending on the experiment.
+    method_names:
+        Curve labels, in run order.
+    solved:
+        Boolean array ``(n_methods, n_points, n_instances)``.
+    failure:
+        Failure probability array, same shape (1.0 where unsolved).
+    """
+
+    xs: np.ndarray
+    method_names: list[str]
+    solved: np.ndarray
+    failure: np.ndarray
+
+    def counts(self, method: str) -> np.ndarray:
+        """Solutions found per sweep point (the Fig. 6-style series)."""
+        return self.solved[self._idx(method)].sum(axis=1)
+
+    def average_failure(
+        self, method: str, rule: str = "common", heuristics: Sequence[str] = ("heur-l", "heur-p")
+    ) -> np.ndarray:
+        """Average failure probability per sweep point (Fig. 7 style).
+
+        ``rule="common"`` averages over instances solved by *all* of
+        *heuristics* (the paper's hom rule); ``rule="per-method"`` over
+        instances solved by *method* itself (the het rule).  Points with
+        an empty averaging set yield NaN (plotted as gaps).
+        """
+        i = self._idx(method)
+        if rule == "common":
+            mask = np.ones(self.solved.shape[1:], dtype=bool)
+            for h in heuristics:
+                if h in self.method_names:
+                    mask &= self.solved[self._idx(h)]
+            # The method itself must also have solved the instance for
+            # its failure probability to be meaningful.
+            mask = mask & self.solved[i]
+        elif rule == "per-method":
+            mask = self.solved[i]
+        else:
+            raise ValueError(f"unknown averaging rule {rule!r}")
+        sums = np.where(mask, self.failure[i], 0.0).sum(axis=1)
+        counts = mask.sum(axis=1)
+        with np.errstate(invalid="ignore"):
+            return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+
+    def _idx(self, method: str) -> int:
+        try:
+            return self.method_names.index(method)
+        except ValueError:
+            raise ValueError(
+                f"method {method!r} not in sweep ({self.method_names})"
+            ) from None
+
+
+def run_sweep(
+    instances: Sequence[tuple[TaskChain, Platform]],
+    methods: Sequence[Method],
+    bounds: Sequence[tuple[float, float]],
+    xs: Sequence[float] | None = None,
+) -> SweepResult:
+    """Run every method on every instance at every bound point.
+
+    Parameters
+    ----------
+    instances:
+        ``(chain, platform)`` pairs.
+    methods:
+        The methods to compare (a heterogeneous platform with a
+        homogeneous-only method raises immediately).
+    bounds:
+        ``(max_period, max_latency)`` per sweep point.
+    xs:
+        Plot coordinates for the sweep points (defaults to the varying
+        bound, detected automatically; falls back to the point index).
+    """
+    if not instances:
+        raise ValueError("need at least one instance")
+    if not bounds:
+        raise ValueError("need at least one sweep point")
+    for method in methods:
+        if method.homogeneous_only:
+            for _, platform in instances:
+                if not platform.homogeneous:
+                    raise ValueError(
+                        f"method {method.name!r} requires homogeneous platforms"
+                    )
+
+    if xs is None:
+        periods = {p for p, _ in bounds}
+        latencies = {l for _, l in bounds}
+        if len(periods) >= len(latencies):
+            xs_arr = np.array([p for p, _ in bounds], dtype=float)
+        else:
+            xs_arr = np.array([l for _, l in bounds], dtype=float)
+    else:
+        if len(xs) != len(bounds):
+            raise ValueError("xs must align with bounds")
+        xs_arr = np.asarray(xs, dtype=float)
+
+    n_m, n_pts, n_inst = len(methods), len(bounds), len(instances)
+    solved = np.zeros((n_m, n_pts, n_inst), dtype=bool)
+    failure = np.ones((n_m, n_pts, n_inst), dtype=float)
+    for mi, method in enumerate(methods):
+        for pi, (P, L) in enumerate(bounds):
+            for ii, (chain, platform) in enumerate(instances):
+                res = method.solve(chain, platform, P, L)
+                solved[mi, pi, ii] = res.feasible
+                if res.feasible:
+                    failure[mi, pi, ii] = res.evaluation.failure_probability
+    return SweepResult(
+        xs=xs_arr,
+        method_names=[m.name for m in methods],
+        solved=solved,
+        failure=failure,
+    )

@@ -1,0 +1,96 @@
+"""Uniform method interface for the experiment harness.
+
+A :class:`Method` maps ``(chain, platform, max_period, max_latency)`` to
+a :class:`~repro.algorithms.result.SolveResult`.  Registered methods:
+
+* ``"ilp"`` — the Section 5.4 integer program (exact, homogeneous only);
+  the paper's yardstick in Figures 6-11.
+* ``"pareto-dp"`` — our exact combinatorial solver (homogeneous only);
+  same optima as ``"ilp"``, several times faster — handy for full-scale
+  regeneration.
+* ``"heur-l"`` / ``"heur-p"`` — the Section 7 heuristics (any platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.algorithms import heuristic_best, ilp_best, pareto_dp_best
+from repro.algorithms.result import SolveResult
+from repro.core.chain import TaskChain
+from repro.core.platform import Platform
+
+__all__ = ["Method", "METHODS", "get_method"]
+
+
+@dataclass(frozen=True)
+class Method:
+    """A named mapping-search method usable in bound sweeps."""
+
+    name: str
+    solve: Callable[[TaskChain, Platform, float, float], SolveResult]
+    exact: bool
+    homogeneous_only: bool
+
+
+def _ilp(chain, platform, P, L):
+    return ilp_best(chain, platform, max_period=P, max_latency=L)
+
+
+def _pareto(chain, platform, P, L):
+    return pareto_dp_best(chain, platform, max_period=P, max_latency=L)
+
+
+def _heur(which, selection, allocation="auto"):
+    def solve(chain, platform, P, L):
+        return heuristic_best(
+            chain,
+            platform,
+            max_period=P,
+            max_latency=L,
+            which=which,
+            selection=selection,
+            allocation=allocation,
+        )
+
+    return solve
+
+
+METHODS: dict[str, Method] = {
+    "ilp": Method("ilp", _ilp, exact=True, homogeneous_only=True),
+    "pareto-dp": Method("pareto-dp", _pareto, exact=True, homogeneous_only=True),
+    "heur-l": Method(
+        "heur-l", _heur("heur-l", "feasible-best"), exact=False, homogeneous_only=False
+    ),
+    "heur-p": Method(
+        "heur-p", _heur("heur-p", "feasible-best"), exact=False, homogeneous_only=False
+    ),
+    # The paper's heterogeneous experiment code: the Section 7.2
+    # allocation (period-filtered) on *both* platforms of each pair, and
+    # best-reliability-then-check-bounds selection (see the
+    # heuristic_best docstring) — the source of Fig. 12's non-monotone
+    # curves.
+    "heur-l-paper": Method(
+        "heur-l-paper",
+        _heur("heur-l", "best-then-check", allocation="het"),
+        exact=False,
+        homogeneous_only=False,
+    ),
+    "heur-p-paper": Method(
+        "heur-p-paper",
+        _heur("heur-p", "best-then-check", allocation="het"),
+        exact=False,
+        homogeneous_only=False,
+    ),
+}
+
+
+def get_method(name: str) -> Method:
+    """Look up a registered method by name."""
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {sorted(METHODS)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""A small mixed-integer linear programming layer.
+
+The paper solves its Section 5.4 integer program with CPLEX; offline we
+substitute (a) the exact HiGHS branch-and-cut solver shipped with SciPy
+(:mod:`repro.ilp.scipy_backend`) and (b) a self-contained best-first
+branch-and-bound on LP relaxations (:mod:`repro.ilp.branch_bound`),
+useful as a cross-check and where `scipy.optimize.milp` is unavailable.
+
+The modeling front-end (:mod:`repro.ilp.model`) is deliberately tiny —
+variables, linear expressions, constraints, one objective — just enough
+to express the paper's program readably.
+"""
+
+from repro.ilp.model import LinExpr, Model, Solution, Variable
+from repro.ilp.scipy_backend import solve_with_scipy
+from repro.ilp.branch_bound import solve_with_branch_bound
+
+__all__ = [
+    "LinExpr",
+    "Model",
+    "Solution",
+    "Variable",
+    "solve_with_scipy",
+    "solve_with_branch_bound",
+]

@@ -1,0 +1,306 @@
+"""Tiny MILP modeling front-end.
+
+Supports exactly what the paper's integer program needs: bounded
+continuous/integer/binary variables, linear constraints
+(``<=``, ``>=``, ``==``), and a single linear objective.  Models are
+solver-agnostic; backends consume the standard-form arrays produced by
+:meth:`Model.to_arrays`.
+
+Example
+-------
+>>> m = Model("knapsack", sense="max")
+>>> x = [m.add_var(f"x{i}", integer=True, lb=0, ub=1) for i in range(3)]
+>>> _ = m.add_constraint(2 * x[0] + 3 * x[1] + 4 * x[2] <= 5, name="cap")
+>>> m.set_objective(3 * x[0] + 4 * x[1] + 5 * x[2])
+>>> from repro.ilp import solve_with_scipy
+>>> sol = solve_with_scipy(m)
+>>> round(sol.objective)
+7
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping as TMapping
+
+import numpy as np
+
+__all__ = ["Variable", "LinExpr", "Constraint", "Model", "Solution"]
+
+
+class LinExpr:
+    """A linear expression ``sum coeff_i * var_i + constant``.
+
+    Built by operator overloading on :class:`Variable`; immutable-ish
+    (operators return new expressions).
+    """
+
+    __slots__ = ("coeffs", "constant")
+
+    def __init__(self, coeffs: TMapping[int, float] | None = None, constant: float = 0.0):
+        self.coeffs: dict[int, float] = dict(coeffs or {})
+        self.constant = float(constant)
+
+    # -- construction helpers ------------------------------------------------
+
+    @staticmethod
+    def _coerce(other: "LinExpr | Variable | float | int") -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return LinExpr({other.index: 1.0})
+        if isinstance(other, (int, float)):
+            return LinExpr(constant=float(other))
+        raise TypeError(f"cannot use {type(other).__name__} in a linear expression")
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(self.coeffs, self.constant)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "LinExpr | Variable | float | int") -> "LinExpr":
+        rhs = self._coerce(other)
+        out = self.copy()
+        for idx, c in rhs.coeffs.items():
+            out.coeffs[idx] = out.coeffs.get(idx, 0.0) + c
+        out.constant += rhs.constant
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinExpr | Variable | float | int") -> "LinExpr":
+        return self + (self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "LinExpr | Variable | float | int") -> "LinExpr":
+        return self._coerce(other) + (self * -1.0)
+
+    def __mul__(self, scalar: float | int) -> "LinExpr":
+        if not isinstance(scalar, (int, float)):
+            raise TypeError("linear expressions only scale by numbers")
+        return LinExpr(
+            {i: c * float(scalar) for i, c in self.coeffs.items()},
+            self.constant * float(scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinExpr":
+        return self * -1.0
+
+    # -- comparisons build constraints ----------------------------------------
+
+    def __le__(self, other: "LinExpr | Variable | float | int") -> "Constraint":
+        return Constraint(self - self._coerce(other), "<=")
+
+    def __ge__(self, other: "LinExpr | Variable | float | int") -> "Constraint":
+        return Constraint(self - self._coerce(other), ">=")
+
+    def __eq__(self, other: object) -> "Constraint":  # type: ignore[override]
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint(self - self._coerce(other), "==")
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] - expressions are not hashable
+
+    def value(self, x: np.ndarray) -> float:
+        """Evaluate at a point *x* (indexed by variable index)."""
+        return self.constant + sum(c * x[i] for i, c in self.coeffs.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = " + ".join(f"{c:g}*v{i}" for i, c in sorted(self.coeffs.items()))
+        return f"LinExpr({terms} + {self.constant:g})"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Handle to a model variable (index into the model's column space)."""
+
+    model: "Model" = field(repr=False, compare=False)
+    index: int
+    name: str
+    lb: float
+    ub: float
+    integer: bool
+
+    def expr(self) -> LinExpr:
+        return LinExpr({self.index: 1.0})
+
+    def __add__(self, other):
+        return self.expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self.expr() - other
+
+    def __rsub__(self, other):
+        return LinExpr._coerce(other) - self.expr()
+
+    def __mul__(self, scalar):
+        return self.expr() * scalar
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return -self.expr()
+
+    def __le__(self, other):
+        return self.expr() <= other
+
+    def __ge__(self, other):
+        return self.expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return self.expr() == other
+        return NotImplemented
+
+    __hash__ = object.__hash__
+
+
+@dataclass
+class Constraint:
+    """``expr (<=|>=|==) 0`` in canonical form (rhs folded into the expr)."""
+
+    expr: LinExpr
+    sense: str  # "<=", ">=", "=="
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.sense not in ("<=", ">=", "=="):
+            raise ValueError(f"unknown constraint sense {self.sense!r}")
+
+
+@dataclass(frozen=True)
+class Solution:
+    """Result of a MILP solve.
+
+    ``status`` is one of ``"optimal"``, ``"infeasible"``, ``"unbounded"``.
+    ``values`` is indexed by variable index; ``objective`` is in the
+    model's own sense (maximization objectives are reported as maxima).
+    """
+
+    status: str
+    objective: float
+    values: np.ndarray
+    nodes: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        return self.status == "optimal"
+
+    def __getitem__(self, var: Variable) -> float:
+        return float(self.values[var.index])
+
+
+class Model:
+    """A mixed-integer linear program under construction."""
+
+    def __init__(self, name: str = "", sense: str = "max") -> None:
+        if sense not in ("max", "min"):
+            raise ValueError(f"sense must be 'max' or 'min', got {sense!r}")
+        self.name = name
+        self.sense = sense
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+
+    # -- building ---------------------------------------------------------------
+
+    def add_var(
+        self,
+        name: str = "",
+        lb: float = 0.0,
+        ub: float = math.inf,
+        integer: bool = False,
+    ) -> Variable:
+        """Add a variable with bounds ``[lb, ub]``; ``integer=True`` for
+        integral (binary = integer with ``lb=0, ub=1``)."""
+        if lb > ub:
+            raise ValueError(f"variable {name!r}: lb {lb} > ub {ub}")
+        var = Variable(
+            model=self,
+            index=len(self.variables),
+            name=name or f"v{len(self.variables)}",
+            lb=float(lb),
+            ub=float(ub),
+            integer=bool(integer),
+        )
+        self.variables.append(var)
+        return var
+
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a comparison of linear expressions "
+                f"(got {type(constraint).__name__}); did you compare two floats?"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, expr: "LinExpr | Variable | float") -> None:
+        self.objective = LinExpr._coerce(expr)
+
+    # -- export ------------------------------------------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Standard-form arrays for the backends.
+
+        Returns a dict with ``c`` (objective, *minimization* sense),
+        ``obj_offset``, ``A_ub``/``b_ub``, ``A_eq``/``b_eq``, ``lb``,
+        ``ub``, ``integrality`` (0/1 per column).  ``>=`` rows are
+        negated into ``<=`` rows.
+        """
+        nvar = len(self.variables)
+        c = np.zeros(nvar)
+        for i, coef in self.objective.coeffs.items():
+            c[i] = coef
+        offset = self.objective.constant
+        if self.sense == "max":
+            c = -c
+
+        rows_ub: list[np.ndarray] = []
+        rhs_ub: list[float] = []
+        rows_eq: list[np.ndarray] = []
+        rhs_eq: list[float] = []
+        for con in self.constraints:
+            row = np.zeros(nvar)
+            for i, coef in con.expr.coeffs.items():
+                row[i] = coef
+            rhs = -con.expr.constant
+            if con.sense == "<=":
+                rows_ub.append(row)
+                rhs_ub.append(rhs)
+            elif con.sense == ">=":
+                rows_ub.append(-row)
+                rhs_ub.append(-rhs)
+            else:
+                rows_eq.append(row)
+                rhs_eq.append(rhs)
+
+        return {
+            "c": c,
+            "obj_offset": np.array(offset),
+            "A_ub": np.array(rows_ub) if rows_ub else np.zeros((0, nvar)),
+            "b_ub": np.array(rhs_ub),
+            "A_eq": np.array(rows_eq) if rows_eq else np.zeros((0, nvar)),
+            "b_eq": np.array(rhs_eq),
+            "lb": np.array([v.lb for v in self.variables]),
+            "ub": np.array([v.ub for v in self.variables]),
+            "integrality": np.array(
+                [1 if v.integer else 0 for v in self.variables], dtype=int
+            ),
+        }
+
+    def finish_objective(self, minimized_value: float) -> float:
+        """Convert a backend's minimization optimum to the model's sense."""
+        return -minimized_value if self.sense == "max" else minimized_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Model({self.name!r}, {self.sense}, {len(self.variables)} vars, "
+            f"{len(self.constraints)} constraints)"
+        )

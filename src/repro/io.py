@@ -1,0 +1,104 @@
+"""JSON (de)serialization for chains, platforms, mappings, and results.
+
+Instances and solutions need to travel — between experiment stages,
+into EXPERIMENTS.md bookkeeping, across tools.  This module defines a
+stable, versioned JSON round-trip for every user-facing model object.
+
+Format: each object carries a ``"type"`` tag and a flat payload; a
+top-level ``"repro_format"`` version guards future migrations.
+
+Examples
+--------
+>>> from repro import TaskChain
+>>> from repro.io import dumps, loads
+>>> chain = TaskChain([1.0, 2.0], [1.0, 0.0])
+>>> loads(dumps(chain)) == chain
+True
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.chain import TaskChain
+from repro.core.interval import Interval
+from repro.core.mapping import Mapping
+from repro.core.platform import Platform
+
+__all__ = ["FORMAT_VERSION", "to_dict", "from_dict", "dumps", "loads"]
+
+FORMAT_VERSION = 1
+
+
+def to_dict(obj: "TaskChain | Platform | Mapping") -> dict[str, Any]:
+    """Encode a model object into a JSON-ready dict."""
+    if isinstance(obj, TaskChain):
+        payload: dict[str, Any] = {
+            "type": "TaskChain",
+            "work": obj.work.tolist(),
+            "output": obj.output.tolist(),
+        }
+    elif isinstance(obj, Platform):
+        payload = {
+            "type": "Platform",
+            "speeds": obj.speeds.tolist(),
+            "failure_rates": obj.failure_rates.tolist(),
+            "bandwidth": obj.bandwidth,
+            "link_failure_rate": obj.link_failure_rate,
+            "max_replication": obj.max_replication,
+        }
+    elif isinstance(obj, Mapping):
+        payload = {
+            "type": "Mapping",
+            "chain": to_dict(obj.chain),
+            "platform": to_dict(obj.platform),
+            "intervals": [[iv.start, iv.stop] for iv in obj.intervals],
+            "replicas": [list(r) for r in obj.replicas],
+        }
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    payload["repro_format"] = FORMAT_VERSION
+    return payload
+
+
+def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping":
+    """Decode an object produced by :func:`to_dict`."""
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ValueError("payload is not a repro object (missing 'type')")
+    version = payload.get("repro_format", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"payload format {version} is newer than supported ({FORMAT_VERSION})"
+        )
+    kind = payload["type"]
+    if kind == "TaskChain":
+        return TaskChain(work=payload["work"], output=payload["output"])
+    if kind == "Platform":
+        return Platform(
+            speeds=payload["speeds"],
+            failure_rates=payload["failure_rates"],
+            bandwidth=payload["bandwidth"],
+            link_failure_rate=payload["link_failure_rate"],
+            max_replication=payload["max_replication"],
+        )
+    if kind == "Mapping":
+        chain = from_dict(payload["chain"])
+        platform = from_dict(payload["platform"])
+        assert isinstance(chain, TaskChain) and isinstance(platform, Platform)
+        assignment = [
+            (Interval(int(a), int(b)), tuple(procs))
+            for (a, b), procs in zip(payload["intervals"], payload["replicas"])
+        ]
+        return Mapping(chain, platform, assignment)
+    raise ValueError(f"unknown object type {kind!r}")
+
+
+def dumps(obj: "TaskChain | Platform | Mapping", **json_kwargs: Any) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_dict(obj), **json_kwargs)
+
+
+def loads(text: str) -> "TaskChain | Platform | Mapping":
+    """Deserialize from a JSON string."""
+    return from_dict(json.loads(text))

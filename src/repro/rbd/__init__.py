@@ -1,0 +1,50 @@
+"""Reliability Block Diagrams (Section 4).
+
+An RBD is an acyclic oriented graph of *blocks* between a source ``S``
+and a destination ``D``; the system it models is operational iff some
+``S -> D`` path has all its blocks operational.  The paper evaluates
+mapping reliability by building the mapping's RBD: serial-parallel when
+routing operations are inserted (Figure 5; linear-time evaluation,
+Eq. (9)) and of no particular form without them (Figure 4; evaluation is
+exponential in general — Section 4 discusses minimal cut sets as an
+approximation).
+
+This subpackage provides the full machinery:
+
+* :mod:`repro.rbd.diagram` — the RBD data structure;
+* :mod:`repro.rbd.build` — mapping -> RBD in both forms;
+* :mod:`repro.rbd.seriesparallel` — series-parallel reduction and the
+  linear-time evaluation it enables;
+* :mod:`repro.rbd.evaluate` — exact evaluation (state enumeration,
+  pivotal factoring), minimal path/cut sets, and the FKG bounds that
+  make the paper's cut-set approximation a guaranteed lower bound;
+* :mod:`repro.rbd.montecarlo` — sampling-based estimation.
+"""
+
+from repro.rbd.diagram import Block, RBD
+from repro.rbd.build import rbd_with_routing, rbd_without_routing
+from repro.rbd.evaluate import (
+    exact_log_reliability_enumeration,
+    exact_log_reliability_factoring,
+    minimal_path_sets,
+    minimal_cut_sets,
+    cut_set_lower_bound,
+    path_set_upper_bound,
+)
+from repro.rbd.seriesparallel import series_parallel_log_reliability
+from repro.rbd.montecarlo import estimate_log_reliability
+
+__all__ = [
+    "Block",
+    "RBD",
+    "rbd_with_routing",
+    "rbd_without_routing",
+    "exact_log_reliability_enumeration",
+    "exact_log_reliability_factoring",
+    "minimal_path_sets",
+    "minimal_cut_sets",
+    "cut_set_lower_bound",
+    "path_set_upper_bound",
+    "series_parallel_log_reliability",
+    "estimate_log_reliability",
+]

@@ -1,0 +1,128 @@
+"""Build the RBD of a multiprocessor interval mapping (Figures 4 and 5).
+
+Two constructions:
+
+* :func:`rbd_with_routing` — the paper's production form (Figure 5):
+  a routing operation ``R_j`` is inserted between consecutive intervals,
+  every replica of ``I_j`` sends to ``R_j`` and every replica of
+  ``I_{j+1}`` receives from it.  The result is serial-parallel by
+  construction, so its reliability is Eq. (9) and is computable in
+  linear time.  Routing operations execute in zero time and their
+  blocks have reliability 1 by default ([17]); the
+  ``routing_log_reliability`` parameter lets experiments relax that.
+
+* :func:`rbd_without_routing` — the general form (Figure 4): replicas
+  of ``I_j`` send directly to every replica of ``I_{j+1}`` over
+  dedicated links ``L_uv``, producing an RBD "with no particular form"
+  whose exact evaluation is exponential in general.  This is the object
+  of the paper's Section 9 future-work question, explored in
+  :mod:`repro.extensions.norouting`.
+
+Block naming follows the figures: ``I{j}/P{u}`` for interval replicas,
+``o{j}/L{u},{v}`` for communications, ``R{j}`` for routers.
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluation import comm_log_reliability, interval_log_reliability
+from repro.core.mapping import Mapping
+from repro.rbd.diagram import DEST, SOURCE, RBD
+
+__all__ = ["rbd_with_routing", "rbd_without_routing"]
+
+
+def rbd_with_routing(mapping: Mapping, routing_log_reliability: float = 0.0) -> RBD:
+    """Figure 5: the serial-parallel RBD with routing operations.
+
+    Communications of size zero (the ``o_0``/``o_n`` conventions) get no
+    block, exactly like Figure 5 connects ``S`` straight to the first
+    interval's replicas.
+    """
+    chain, platform = mapping.chain, mapping.platform
+    rbd = RBD()
+    prev: list = [SOURCE]  # nodes feeding the next stage
+
+    for j, (iv, procs) in enumerate(mapping):
+        in_size = mapping.interval_input(j)
+        out_size = mapping.interval_output(j)
+        ell_in = comm_log_reliability(platform, in_size)
+        ell_out = comm_log_reliability(platform, out_size)
+        exits: list = []
+        for u in procs:
+            ell_iv = interval_log_reliability(chain, platform, iv.start, iv.stop, u)
+            iv_node = rbd.add_block((j, "I", u), ell_iv, name=f"I{j}/P{u}")
+            # Incoming communication from the upstream router (skipped
+            # for the first interval / zero-size data).
+            if j > 0 and in_size > 0:
+                c_in = rbd.add_block(
+                    (j, "in", u), ell_in, name=f"o{j - 1}/R{j - 1}->P{u}"
+                )
+                for src in prev:
+                    rbd.add_edge(src, c_in)
+                rbd.add_edge(c_in, iv_node)
+            else:
+                for src in prev:
+                    rbd.add_edge(src, iv_node)
+            # Outgoing communication towards the downstream router.
+            if j < mapping.m - 1 and out_size > 0:
+                c_out = rbd.add_block(
+                    (j, "out", u), ell_out, name=f"o{j}/P{u}->R{j}"
+                )
+                rbd.add_edge(iv_node, c_out)
+                exits.append(c_out)
+            else:
+                exits.append(iv_node)
+
+        if j < mapping.m - 1:
+            router = rbd.add_block((j, "R"), routing_log_reliability, name=f"R{j}")
+            for node in exits:
+                rbd.add_edge(node, router)
+            prev = [router]
+        else:
+            for node in exits:
+                rbd.add_edge(node, DEST)
+    rbd.validate()
+    return rbd
+
+
+def rbd_without_routing(mapping: Mapping) -> RBD:
+    """Figure 4: the general RBD without routing operations.
+
+    Between consecutive intervals, each ordered replica pair ``(u, v)``
+    communicates over its own link ``L_uv``, giving ``|P_j| * |P_{j+1}|``
+    independent communication blocks per boundary (zero-size data gets a
+    direct edge instead of a block).
+    """
+    chain, platform = mapping.chain, mapping.platform
+    rbd = RBD()
+
+    # Interval replica blocks first.
+    for j, (iv, procs) in enumerate(mapping):
+        for u in procs:
+            ell_iv = interval_log_reliability(chain, platform, iv.start, iv.stop, u)
+            rbd.add_block((j, "I", u), ell_iv, name=f"I{j}/P{u}")
+
+    # Source into the first interval's replicas.
+    for u in mapping.replicas[0]:
+        rbd.add_edge(SOURCE, (0, "I", u))
+
+    # Communications between consecutive stages.
+    for j in range(mapping.m - 1):
+        out_size = mapping.interval_output(j)
+        ell_comm = comm_log_reliability(platform, out_size)
+        for u in mapping.replicas[j]:
+            for v in mapping.replicas[j + 1]:
+                if out_size > 0:
+                    c = rbd.add_block(
+                        (j, "comm", u, v), ell_comm, name=f"o{j}/L{u},{v}"
+                    )
+                    rbd.add_edge((j, "I", u), c)
+                    rbd.add_edge(c, (j + 1, "I", v))
+                else:
+                    rbd.add_edge((j, "I", u), (j + 1, "I", v))
+
+    # Last interval's replicas into the destination.
+    for u in mapping.replicas[-1]:
+        rbd.add_edge((mapping.m - 1, "I", u), DEST)
+    rbd.validate()
+    return rbd

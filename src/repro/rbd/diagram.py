@@ -1,0 +1,163 @@
+"""The Reliability Block Diagram data structure.
+
+Formally (Section 4): an RBD is an acyclic oriented graph ``(N, E)``
+where each node is a *block* representing an element of the system and
+each arc is a causality link; two special connection points are the
+source ``S`` and the destination ``D``.  The RBD is operational iff
+there exists at least one ``S -> D`` path whose blocks are all
+operational; block operational probabilities are independent.
+
+Blocks live on *nodes* (as in the paper's figures); ``S`` and ``D`` are
+connection points, not blocks — they never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable
+
+import networkx as nx
+
+from repro.util import logrel
+
+__all__ = ["SOURCE", "DEST", "Block", "RBD"]
+
+#: Reserved node names for the two connection points.
+SOURCE = "S"
+DEST = "D"
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block of an RBD: a named element with a log-reliability."""
+
+    name: str
+    log_reliability: float
+
+    def __post_init__(self) -> None:
+        logrel.check_logrel(self.log_reliability)
+
+    @property
+    def reliability(self) -> float:
+        return logrel.reliability(self.log_reliability)
+
+    @property
+    def failure(self) -> float:
+        return logrel.failure(self.log_reliability)
+
+
+class RBD:
+    """A reliability block diagram.
+
+    Examples
+    --------
+    >>> rbd = RBD()
+    >>> a = rbd.add_block("A", -0.1)
+    >>> b = rbd.add_block("B", -0.2)
+    >>> rbd.add_edge(SOURCE, a); rbd.add_edge(a, DEST)
+    >>> rbd.add_edge(SOURCE, b); rbd.add_edge(b, DEST)
+    >>> rbd.n_blocks     # A and B in parallel
+    2
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._graph.add_node(SOURCE)
+        self._graph.add_node(DEST)
+        self._blocks: dict[Hashable, Block] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_block(
+        self, node: Hashable, log_reliability: float, name: str | None = None
+    ) -> Hashable:
+        """Add a block node; returns its id for convenience."""
+        if node in (SOURCE, DEST):
+            raise ValueError(f"{node!r} is a reserved connection point")
+        if node in self._blocks:
+            raise ValueError(f"block {node!r} already exists")
+        self._blocks[node] = Block(str(name if name is not None else node), log_reliability)
+        self._graph.add_node(node)
+        return node
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add a causality link; both endpoints must already exist."""
+        for x in (u, v):
+            if x not in self._graph:
+                raise ValueError(f"unknown node {x!r}; add the block first")
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        self._graph.add_edge(u, v)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(u, v)
+            raise ValueError(f"edge {u!r} -> {v!r} would create a cycle")
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying DAG (do not mutate)."""
+        return self._graph
+
+    @property
+    def blocks(self) -> dict[Hashable, Block]:
+        """Mapping node id -> Block (excludes S and D)."""
+        return dict(self._blocks)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self._blocks)
+
+    def block(self, node: Hashable) -> Block:
+        return self._blocks[node]
+
+    def validate(self) -> None:
+        """Check that the diagram is a meaningful two-terminal DAG.
+
+        Raises
+        ------
+        ValueError
+            If there is no ``S -> D`` path at all, or some block lies on
+            no ``S -> D`` path (it would be dead weight and is almost
+            always a construction bug).
+        """
+        g = self._graph
+        if not nx.has_path(g, SOURCE, DEST):
+            raise ValueError("no path from S to D: the system can never operate")
+        reachable_from_s = nx.descendants(g, SOURCE) | {SOURCE}
+        reaching_d = nx.ancestors(g, DEST) | {DEST}
+        for node in self._blocks:
+            if node not in reachable_from_s or node not in reaching_d:
+                raise ValueError(f"block {node!r} lies on no S->D path")
+
+    # -- path structure -------------------------------------------------------------
+
+    def simple_paths(self) -> Iterable[list[Hashable]]:
+        """All simple ``S -> D`` paths as block-id lists (S/D stripped)."""
+        for path in nx.all_simple_paths(self._graph, SOURCE, DEST):
+            yield [n for n in path if n not in (SOURCE, DEST)]
+
+    def operational(self, up_blocks: set[Hashable]) -> bool:
+        """Is the system operational when exactly *up_blocks* work?
+
+        Used by state enumeration and Monte Carlo; runs a reachability
+        query on the subgraph induced by working blocks plus S and D.
+        """
+        g = self._graph
+        allowed = set(up_blocks) | {SOURCE, DEST}
+        # BFS from S through allowed nodes only.
+        stack, seen = [SOURCE], {SOURCE}
+        while stack:
+            u = stack.pop()
+            if u == DEST:
+                return True
+            for v in g.successors(u):
+                if v in allowed and v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"RBD({self.n_blocks} blocks, {self._graph.number_of_edges()} edges)"
+        )

@@ -1,0 +1,70 @@
+"""The generic discrete-event loop.
+
+Minimal by design: a clock, a queue, and a run loop.  Domain behaviour
+lives in the models that schedule events (:mod:`repro.simulation.pipeline`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.simulation.events import Event, EventQueue
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Discrete-event engine with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Schedule *action* to run *delay* time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay!r}")
+        self._queue.push(Event(self._now + delay, action, priority, label))
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        """Schedule *action* at absolute *time* (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        self._queue.push(Event(time, action, priority, label))
+
+    def run(self, until: float = math.inf, max_events: int = 50_000_000) -> None:
+        """Execute events in order until the queue drains or *until*.
+
+        ``max_events`` guards against runaway self-scheduling models.
+        """
+        while self._queue and self._queue.next_time <= until:
+            event = self._queue.pop()
+            self._now = event.time
+            event.action()
+            self._processed += 1
+            if self._processed >= max_events:
+                raise RuntimeError(f"exceeded {max_events} events; runaway model?")

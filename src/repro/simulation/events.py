@@ -1,0 +1,71 @@
+"""Event records and the deterministic priority queue of the simulator.
+
+Events are ordered by ``(time, priority, seq)``: time first, then an
+explicit priority (lets routers forward before later work at the same
+instant), then insertion order — making every simulation fully
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """One scheduled occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp.
+    action:
+        Zero-argument callable executed when the event fires.
+    priority:
+        Secondary ordering at equal times (lower fires first).
+    label:
+        Debugging aid shown in traces.
+    """
+
+    time: float
+    action: Callable[[], None]
+    priority: int = 0
+    label: str = ""
+
+
+class EventQueue:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+
+    def push(self, event: Event) -> None:
+        if event.time < 0:
+            raise ValueError(f"event time must be >= 0, got {event.time!r}")
+        heapq.heappush(
+            self._heap, (event.time, event.priority, next(self._seq), event)
+        )
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)[3]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    @property
+    def next_time(self) -> float:
+        """Timestamp of the earliest pending event."""
+        if not self._heap:
+            raise IndexError("empty event queue has no next time")
+        return self._heap[0][0]

@@ -1,0 +1,235 @@
+"""Pipelined execution of a mapping over a stream of data sets.
+
+Model (Sections 1, 2.2, 2.5):
+
+* data set ``d`` enters the system at time ``d * period`` (the
+  real-time arrival law of Section 1);
+* every replica of every interval processes every data set, in arrival
+  order, one at a time (a processor computes one operation at a time;
+  communications are overlapped with computations, Section 2.2);
+* between consecutive intervals sits a routing operation, executing in
+  zero time with reliability 1 ([17]); it forwards the *first*
+  successful replica result to every replica of the next interval;
+* a fault on a replica (or a link) silently kills that replica's
+  contribution *for that data set only* — the hot transient model: the
+  replica keeps processing later data sets;
+* a data set completes iff at every stage at least one replica chain
+  (incoming communication, computation, outgoing communication)
+  succeeds end to end.
+
+Timing accounting (``accounting``):
+
+* ``"analytical"`` (default) charges each boundary communication once —
+  mirroring Eqs. (5)-(8), which count ``o_i / b`` once per interval even
+  though the routed data physically hops twice (the +3.88% routing
+  overhead noted in [17] is ignored by the paper's formulas);
+* ``"physical"`` charges both hops (replica -> router -> replica).
+
+With ``"analytical"`` accounting, no faults, and single-replica
+intervals, a data set's latency is exactly ``WL`` (Eq. (7)); with
+replication and negligible fault rates it approaches ``EL`` (Eq. (5))
+because the fastest replica's result is forwarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from repro.core.mapping import Mapping
+from repro.simulation.engine import Engine
+from repro.simulation.faults import BernoulliFaults, FaultInjector
+
+__all__ = ["PipelineSimulator", "SimulationRun"]
+
+Accounting = Literal["analytical", "physical"]
+
+
+@dataclass
+class SimulationRun:
+    """Outcome of one pipelined simulation.
+
+    Attributes
+    ----------
+    n_datasets:
+        Number of data sets injected.
+    period:
+        Injection period used.
+    completion_times:
+        Per-data-set completion timestamp (NaN when the data set was
+        lost to faults).
+    entry_times:
+        Per-data-set injection timestamp (``d * period``).
+    stage_losses:
+        Per-stage count of data sets lost at that stage.
+    events_processed:
+        Total discrete events executed.
+    """
+
+    n_datasets: int
+    period: float
+    completion_times: np.ndarray
+    entry_times: np.ndarray
+    stage_losses: list[int]
+    events_processed: int
+
+    @property
+    def completed(self) -> np.ndarray:
+        """Boolean mask of data sets that survived every stage."""
+        return ~np.isnan(self.completion_times)
+
+    @property
+    def n_completed(self) -> int:
+        return int(self.completed.sum())
+
+    @property
+    def success_rate(self) -> float:
+        """Empirical per-data-set reliability."""
+        return self.n_completed / self.n_datasets
+
+    @property
+    def latencies(self) -> np.ndarray:
+        """Latencies of completed data sets (completion - entry)."""
+        mask = self.completed
+        return self.completion_times[mask] - self.entry_times[mask]
+
+    @property
+    def observed_period(self) -> float:
+        """Median inter-completion time in steady state (NaN if < 2
+        completions).  The median is robust to the pipeline-fill
+        transient and to gaps left by lost data sets."""
+        times = np.sort(self.completion_times[self.completed])
+        if times.size < 2:
+            return float("nan")
+        return float(np.median(np.diff(times)))
+
+
+class PipelineSimulator:
+    """Simulates one mapping under a fault injector.
+
+    Parameters
+    ----------
+    mapping:
+        The interval mapping to execute.
+    faults:
+        A :class:`~repro.simulation.faults.FaultInjector`; defaults to
+        Bernoulli sampling with a fresh seed (pass a seeded injector
+        for reproducibility).
+    accounting:
+        Communication-time accounting; see the module docstring.
+    """
+
+    def __init__(
+        self,
+        mapping: Mapping,
+        faults: FaultInjector | None = None,
+        accounting: Accounting = "analytical",
+    ) -> None:
+        if accounting not in ("analytical", "physical"):
+            raise ValueError(f"unknown accounting mode {accounting!r}")
+        self.mapping = mapping
+        self.faults = faults if faults is not None else BernoulliFaults()
+        self.accounting: Accounting = accounting
+
+    def run(self, n_datasets: int, period: float) -> SimulationRun:
+        """Inject ``n_datasets`` data sets at the given *period* and run
+        to completion."""
+        if n_datasets < 1:
+            raise ValueError("n_datasets must be >= 1")
+        if period <= 0:
+            raise ValueError("period must be > 0")
+        mapping = self.mapping
+        chain, platform = mapping.chain, mapping.platform
+        m = mapping.m
+        b = platform.bandwidth
+        lam_link = platform.link_failure_rate
+        engine = Engine()
+        faults = self.faults
+
+        works = [mapping.interval_work(j) for j in range(m)]
+        outs = [mapping.interval_output(j) for j in range(m)]
+
+        # Replica state: next-free time per (stage, replica) processor.
+        busy = {(j, u): 0.0 for j in range(m) for u in mapping.replicas[j]}
+        # Router state: earliest successful arrival per (stage, dataset).
+        forwarded: set[tuple[int, int]] = set()
+        # Pending replica results per (stage, dataset): count outstanding.
+        outstanding = {
+            (j, d): len(mapping.replicas[j])
+            for j in range(m)
+            for d in range(n_datasets)
+        }
+
+        completion = np.full(n_datasets, np.nan)
+        entry = np.arange(n_datasets, dtype=float) * period
+        stage_losses = [0] * m
+
+        def router_receive(j: int, d: int, ok: bool) -> None:
+            """A replica chain of stage j delivered (or lost) data set d."""
+            key = (j, d)
+            outstanding[key] -= 1
+            if ok and key not in forwarded:
+                forwarded.add(key)
+                t = engine.now
+                if j + 1 < m:
+                    stage_input(j + 1, d, t)
+                else:
+                    completion[d] = t
+            elif outstanding[key] == 0 and key not in forwarded:
+                stage_losses[j] += 1  # every replica chain failed
+
+        def stage_input(j: int, d: int, t: float) -> None:
+            """The router upstream of stage j forwards data set d at t."""
+            in_size = mapping.interval_input(j)
+            in_time = in_size / b if self.accounting == "physical" else 0.0
+            out_size = outs[j]
+            # Under analytical accounting the outgoing hop carries the
+            # whole once-per-boundary communication time.
+            out_time = out_size / b
+            for u in mapping.replicas[j]:
+                in_ok = faults.operation_succeeds(lam_link, in_size / b) if (
+                    j > 0 and in_size > 0
+                ) else True
+                arrival = t + in_time
+
+                def deliver(j=j, d=d, u=u, in_ok=in_ok, out_size=out_size, out_time=out_time):
+                    start = max(engine.now, busy[(j, u)])
+                    duration = works[j] / float(platform.speeds[u])
+                    busy[(j, u)] = start + duration
+                    comp_ok = faults.operation_succeeds(
+                        float(platform.failure_rates[u]), duration
+                    )
+                    is_last = j == m - 1
+                    send_time = out_time if (not is_last or out_size > 0) else 0.0
+                    if out_size > 0:
+                        out_ok = faults.operation_succeeds(lam_link, out_size / b)
+                    else:
+                        out_ok = True
+                    ok = in_ok and comp_ok and out_ok
+                    finish = start + duration + send_time
+                    engine.schedule_at(
+                        finish,
+                        lambda j=j, d=d, ok=ok: router_receive(j, d, ok),
+                        priority=1,
+                        label=f"deliver I{j}/P{u} d{d}",
+                    )
+
+                engine.schedule_at(arrival, deliver, label=f"arrive I{j}/P{u} d{d}")
+
+        for d in range(n_datasets):
+            engine.schedule_at(
+                entry[d],
+                lambda j=0, d=d: stage_input(j, d, engine.now),
+                label=f"inject d{d}",
+            )
+        engine.run()
+        return SimulationRun(
+            n_datasets=n_datasets,
+            period=period,
+            completion_times=completion,
+            entry_times=entry,
+            stage_losses=stage_losses,
+            events_processed=engine.processed,
+        )

@@ -1,0 +1,9 @@
+"""Shared utilities: log-domain reliability arithmetic, Pareto frontiers, RNG.
+
+These modules are substrate-level helpers used by every other subpackage.
+They deliberately contain no scheduling logic.
+"""
+
+from repro.util import logrel, pareto, rng, validation
+
+__all__ = ["logrel", "pareto", "rng", "validation"]

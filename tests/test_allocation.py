@@ -1,0 +1,192 @@
+"""Tests for Algo-Alloc (Theorem 4) and its heterogeneous variant (Section 7.2)."""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import algo_alloc, algo_alloc_het
+from repro.core import (
+    Interval,
+    Mapping,
+    Platform,
+    TaskChain,
+    evaluate_mapping,
+    random_chain,
+)
+from repro.core.interval import partition_from_cuts
+from repro.core.evaluation import mapping_log_reliability
+
+
+def hom_platform(p, K, failure_rate=1e-4, link_failure_rate=1e-3):
+    return Platform.homogeneous_platform(
+        p, failure_rate=failure_rate, link_failure_rate=link_failure_rate,
+        max_replication=K,
+    )
+
+
+def best_allocation_by_enumeration(chain, platform, partition):
+    """Brute-force optimal replica-count allocation (homogeneous)."""
+    m, p, K = len(partition), platform.p, platform.max_replication
+    best = None
+    for counts in itertools.product(range(1, K + 1), repeat=m):
+        if sum(counts) > p:
+            continue
+        nxt, assignment = 0, []
+        for iv, q in zip(partition, counts):
+            assignment.append((iv, tuple(range(nxt, nxt + q))))
+            nxt += q
+        ell = mapping_log_reliability(Mapping(chain, platform, assignment))
+        if best is None or ell > best:
+            best = ell
+    return best
+
+
+class TestAlgoAllocHomogeneous:
+    def test_one_processor_per_interval_minimum(self):
+        chain = TaskChain([1.0, 1.0, 1.0], [1.0, 1.0, 0.0])
+        plat = hom_platform(3, 3)
+        mapping = algo_alloc(chain, plat, partition_from_cuts(3, [1, 2]))
+        assert all(len(r) == 1 for r in mapping.replicas)
+
+    def test_saturates_at_k_when_enough_processors(self):
+        chain = TaskChain([1.0, 1.0], [1.0, 0.0])
+        plat = hom_platform(6, 3)
+        mapping = algo_alloc(chain, plat, partition_from_cuts(2, [1]))
+        assert all(len(r) == 3 for r in mapping.replicas)  # i*K <= p
+
+    def test_extra_processor_goes_to_weakest_interval(self):
+        # Interval works 10 vs 1: the big interval is least reliable, so
+        # its replication ratio gain is largest.
+        chain = TaskChain([10.0, 1.0], [0.0, 0.0])
+        plat = hom_platform(3, 2)
+        mapping = algo_alloc(chain, plat, partition_from_cuts(2, [1]))
+        assert len(mapping.replicas[0]) == 2
+        assert len(mapping.replicas[1]) == 1
+
+    def test_too_few_processors_rejected(self):
+        chain = TaskChain([1.0, 1.0], [1.0, 0.0])
+        plat = hom_platform(1, 1)
+        with pytest.raises(ValueError, match="at least"):
+            algo_alloc(chain, plat, partition_from_cuts(2, [1]))
+
+    def test_rejects_heterogeneous(self):
+        chain = TaskChain([1.0], [0.0])
+        plat = Platform([1.0, 2.0], [1e-8, 1e-8], max_replication=2)
+        with pytest.raises(ValueError, match="homogeneous"):
+            algo_alloc(chain, plat, [Interval(0, 1)])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_theorem4_optimality(self, seed):
+        """Greedy allocation matches brute-force enumeration (Theorem 4)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        m = int(rng.integers(1, n + 1))
+        p = int(rng.integers(m, m + 5))
+        K = int(rng.integers(1, 4))
+        chain = random_chain(n, rng)
+        cuts = sorted(rng.choice(np.arange(1, n), size=m - 1, replace=False).tolist())
+        partition = partition_from_cuts(n, cuts)
+        plat = hom_platform(p, K)
+        got = mapping_log_reliability(algo_alloc(chain, plat, partition))
+        want = best_allocation_by_enumeration(chain, plat, partition)
+        assert got == pytest.approx(want, rel=1e-9)
+
+    def test_theorem4_with_large_rates(self):
+        # Failure probabilities far from 0 stress the ratio ordering.
+        chain = TaskChain([5.0, 2.0, 9.0], [1.0, 1.0, 0.0])
+        plat = hom_platform(7, 3, failure_rate=0.05, link_failure_rate=0.01)
+        partition = partition_from_cuts(3, [1, 2])
+        got = mapping_log_reliability(algo_alloc(chain, plat, partition))
+        want = best_allocation_by_enumeration(chain, plat, partition)
+        assert got == pytest.approx(want, rel=1e-12)
+
+
+class TestAlgoAllocHet:
+    def test_phase1_seeds_longest_interval_with_best_processor(self):
+        chain = TaskChain([10.0, 1.0], [1.0, 0.0])
+        # proc 0 fastest & most reliable per lambda/s.
+        plat = Platform([10.0, 1.0], [1e-8, 1e-8], max_replication=1)
+        mapping = algo_alloc_het(chain, plat, partition_from_cuts(2, [1]))
+        assert mapping is not None
+        assert mapping.replicas[0] == (0,)  # longest interval got proc 0
+        assert mapping.replicas[1] == (1,)
+
+    def test_respects_period_bound(self):
+        chain = TaskChain([10.0, 10.0], [1.0, 0.0])
+        plat = Platform([10.0, 1.0], [1e-8, 1e-8], max_replication=2)
+        # Slow proc (speed 1) cannot host either interval within P=5.
+        mapping = algo_alloc_het(
+            chain, plat, partition_from_cuts(2, [1]), max_period=5.0
+        )
+        assert mapping is None  # second interval cannot be seeded
+
+    def test_period_bound_excludes_slow_replicas(self):
+        chain = TaskChain([10.0], [0.0])
+        plat = Platform([10.0, 1.0, 5.0], [1e-8] * 3, max_replication=3)
+        mapping = algo_alloc_het(chain, plat, [Interval(0, 1)], max_period=3.0)
+        assert mapping is not None
+        assert mapping.replicas[0] == (0, 2)  # speed-1 proc excluded (10/1 > 3)
+
+    def test_unbounded_uses_all_processors_up_to_k(self):
+        chain = TaskChain([3.0, 4.0], [1.0, 0.0])
+        plat = Platform([1.0, 2.0, 3.0, 4.0], [1e-8] * 4, max_replication=2)
+        mapping = algo_alloc_het(chain, plat, partition_from_cuts(2, [1]))
+        assert mapping is not None
+        assert mapping.processors_used == 4
+
+    def test_allowed_constraints(self):
+        chain = TaskChain([2.0, 2.0], [1.0, 0.0])
+        plat = Platform([1.0, 1.0, 1.0], [1e-8] * 3, max_replication=2)
+        # Interval 0 only on proc 2; interval 1 anywhere.
+        allowed = lambda u, j: (j != 0) or (u == 2)  # noqa: E731
+        mapping = algo_alloc_het(chain, plat, partition_from_cuts(2, [1]), allowed=allowed)
+        assert mapping is not None
+        assert mapping.replicas[0] == (2,)
+
+    def test_infeasible_constraints(self):
+        chain = TaskChain([2.0, 2.0], [1.0, 0.0])
+        plat = Platform([1.0, 1.0], [1e-8] * 2, max_replication=2)
+        mapping = algo_alloc_het(
+            chain, plat, partition_from_cuts(2, [1]), allowed=lambda u, j: j == 0
+        )
+        assert mapping is None
+
+    def test_on_homogeneous_platform_matches_algo_alloc_value(self):
+        # The het variant reduces to a valid (not necessarily identical,
+        # but equally reliable) allocation on homogeneous platforms.
+        chain = random_chain(5, rng=3)
+        plat = hom_platform(7, 2)
+        partition = partition_from_cuts(5, [2, 4])
+        hom_ell = mapping_log_reliability(algo_alloc(chain, plat, partition))
+        het = algo_alloc_het(chain, plat, partition)
+        assert het is not None
+        assert mapping_log_reliability(het) == pytest.approx(hom_ell, rel=1e-9)
+
+    def test_prefers_reliable_processors(self):
+        chain = TaskChain([4.0], [0.0])
+        plat = Platform(
+            [2.0, 2.0, 2.0],
+            [1e-2, 1e-8, 1e-5],
+            max_replication=1,
+        )
+        mapping = algo_alloc_het(chain, plat, [Interval(0, 1)])
+        assert mapping is not None
+        assert mapping.replicas[0] == (1,)  # smallest lambda/s
+
+    def test_period_check_uses_worst_case(self):
+        # The allocated mapping's worst-case computation per interval
+        # respects the bound (communication may still exceed it).
+        rng = np.random.default_rng(17)
+        chain = random_chain(6, rng)
+        plat = Platform(
+            rng.integers(1, 100, size=8).astype(float),
+            [1e-8] * 8,
+            max_replication=3,
+        )
+        P = 40.0
+        mapping = algo_alloc_het(chain, plat, partition_from_cuts(6, [2, 4]), max_period=P)
+        if mapping is not None:
+            ev = evaluate_mapping(mapping)
+            assert max(ev.worst_case_costs) <= P + 1e-9

@@ -1,0 +1,127 @@
+"""Tests for the simulated-annealing mapper extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import heuristic_best, pareto_dp_best
+from repro.core import Interval, Mapping, Platform, TaskChain, random_chain, random_platform
+from repro.extensions import anneal_mapping
+from repro.extensions.annealing import AnnealingStats, _score
+from repro.core.evaluation import evaluate_mapping
+
+
+def hom_platform(p, K):
+    return Platform.homogeneous_platform(
+        p, failure_rate=1e-6, link_failure_rate=1e-5, max_replication=K
+    )
+
+
+class TestScore:
+    def test_feasible_score_monotone_in_reliability(self):
+        chain = TaskChain([4.0], [0.0])
+        plat = hom_platform(3, 2)
+        single = evaluate_mapping(Mapping(chain, plat, [(Interval(0, 1), (0,))]))
+        double = evaluate_mapping(Mapping(chain, plat, [(Interval(0, 1), (0, 1))]))
+        assert _score(double, math.inf, math.inf) > _score(single, math.inf, math.inf)
+
+    def test_violation_penalized(self):
+        chain = TaskChain([4.0], [0.0])
+        plat = hom_platform(1, 1)
+        ev = evaluate_mapping(Mapping(chain, plat, [(Interval(0, 1), (0,))]))
+        ok = _score(ev, max_period=10.0, max_latency=10.0)
+        bad = _score(ev, max_period=1.0, max_latency=10.0)
+        assert bad < ok - 10.0
+
+
+class TestAnnealMapping:
+    def test_respects_bounds(self):
+        chain = random_chain(8, rng=1)
+        plat = hom_platform(6, 3)
+        res = anneal_mapping(
+            chain, plat, max_period=200.0, max_latency=700.0,
+            iterations=600, rng=2,
+        )
+        if res.feasible:
+            assert res.evaluation.worst_case_period <= 200.0 + 1e-9
+            assert res.evaluation.worst_case_latency <= 700.0 + 1e-9
+
+    def test_never_worse_than_heuristic_warm_start(self):
+        chain = random_chain(8, rng=3)
+        plat = hom_platform(6, 3)
+        P, L = 250.0, 800.0
+        heur = heuristic_best(chain, plat, max_period=P, max_latency=L)
+        res = anneal_mapping(
+            chain, plat, max_period=P, max_latency=L, iterations=500, rng=4
+        )
+        if heur.feasible:
+            assert res.feasible
+            assert res.log_reliability >= heur.log_reliability - 1e-12
+
+    def test_never_beats_exact_optimum(self):
+        chain = random_chain(6, rng=5)
+        plat = hom_platform(5, 2)
+        P, L = 200.0, 700.0
+        exact = pareto_dp_best(chain, plat, max_period=P, max_latency=L)
+        res = anneal_mapping(
+            chain, plat, max_period=P, max_latency=L, iterations=1500, rng=6
+        )
+        if res.feasible:
+            assert exact.feasible
+            assert res.log_reliability <= exact.log_reliability + 1e-12
+
+    def test_recovers_from_bad_initial_state(self):
+        """Warm-started from a poor mapping, annealing must find the
+        replicated optimum of a trivial instance."""
+        chain = TaskChain([10.0], [0.0])
+        plat = hom_platform(3, 3)
+        bad = Mapping(chain, plat, [(Interval(0, 1), (0,))])
+        res = anneal_mapping(chain, plat, iterations=800, rng=7, initial=bad)
+        assert res.feasible
+        assert res.mapping.processors_used == 3  # replicated up to K
+
+    def test_heterogeneous_platform(self):
+        rng = np.random.default_rng(11)
+        chain = random_chain(8, rng)
+        plat = random_platform(8, rng)
+        res = anneal_mapping(
+            chain, plat, max_period=60.0, max_latency=250.0,
+            iterations=800, rng=12,
+        )
+        heur = heuristic_best(chain, plat, max_period=60.0, max_latency=250.0)
+        if heur.feasible:
+            assert res.feasible
+            assert res.log_reliability >= heur.log_reliability - 1e-12
+
+    def test_deterministic_given_seed(self):
+        chain = random_chain(6, rng=8)
+        plat = hom_platform(5, 2)
+        a = anneal_mapping(chain, plat, iterations=300, rng=9)
+        b = anneal_mapping(chain, plat, iterations=300, rng=9)
+        assert a.feasible == b.feasible
+        if a.feasible:
+            assert a.mapping == b.mapping
+
+    def test_stats_populated(self):
+        chain = random_chain(5, rng=10)
+        plat = hom_platform(4, 2)
+        res = anneal_mapping(chain, plat, iterations=200, rng=13)
+        stats = res.details["stats"]
+        assert isinstance(stats, AnnealingStats)
+        assert stats.iterations == 200
+        assert 0 <= stats.accepted <= 200
+
+    def test_infeasible_instance(self):
+        chain = TaskChain([100.0], [0.0])
+        plat = hom_platform(2, 2)
+        res = anneal_mapping(chain, plat, max_period=1.0, iterations=100, rng=14)
+        assert not res.feasible
+
+    def test_validation(self):
+        chain = TaskChain([1.0], [0.0])
+        plat = hom_platform(1, 1)
+        with pytest.raises(ValueError):
+            anneal_mapping(chain, plat, iterations=0)
+        with pytest.raises(ValueError):
+            anneal_mapping(chain, plat, cooling=0.0)

@@ -1,0 +1,195 @@
+"""Tests for the NP-completeness machinery: source-problem solvers and
+end-to-end checks of the Theorem 3 / Theorem 5 reductions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import brute_force_best, pareto_dp_best
+from repro.complexity import (
+    build_theorem3_instance,
+    build_theorem5_instance,
+    n_way_partition_solve,
+    random_instance,
+    random_yes_instance,
+    two_partition_solve,
+)
+
+
+class TestTwoPartitionSolver:
+    def test_solvable(self):
+        sol = two_partition_solve([1, 2, 3])
+        assert sol == [2] or sorted(sol) == [0, 1]
+
+    def test_unsolvable_even_total(self):
+        assert two_partition_solve([1, 2, 5]) is None  # total 8, no subset = 4
+
+    def test_odd_total(self):
+        assert two_partition_solve([1, 1, 1]) is None
+
+    def test_empty(self):
+        assert two_partition_solve([]) == []
+
+    def test_subset_sums_to_half(self):
+        vals = [3, 1, 1, 2, 2, 1]
+        sol = two_partition_solve(vals)
+        assert sol is not None
+        assert sum(vals[i] for i in sol) == sum(vals) // 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            two_partition_solve([1, 0])
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_yes_instances_are_yes(self, seed):
+        vals = random_yes_instance(6, rng=seed)
+        sol = two_partition_solve(vals)
+        assert sol is not None
+        assert sum(vals[i] for i in sol) * 2 == sum(vals)
+
+    def test_random_instance_shape(self):
+        vals = random_instance(5, rng=0)
+        assert len(vals) == 5 and all(v >= 1 for v in vals)
+
+    def test_brute_force_agreement(self):
+        import itertools
+
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            vals = [int(v) for v in rng.integers(1, 12, size=6)]
+            dp = two_partition_solve(vals)
+            total = sum(vals)
+            brute = total % 2 == 0 and any(
+                sum(c) * 2 == total
+                for r in range(len(vals) + 1)
+                for c in itertools.combinations(vals, r)
+            )
+            assert (dp is not None) == brute
+
+
+class TestNWayPartitionSolver:
+    def test_simple_yes(self):
+        groups = n_way_partition_solve([1, 2, 3, 4, 5, 9], 2)
+        assert groups is not None
+        sums = [sum([1, 2, 3, 4, 5, 9][i] for i in g) for g in groups]
+        assert sums == [12, 12]
+        assert sorted(i for g in groups for i in g) == list(range(6))
+
+    def test_simple_no(self):
+        assert n_way_partition_solve([1, 1, 1, 5], 2) is None
+
+    def test_indivisible_total(self):
+        assert n_way_partition_solve([1, 1, 1], 2) is None
+
+    def test_oversized_value(self):
+        assert n_way_partition_solve([7, 1, 1, 1], 2) is None  # 7 > 5
+
+    def test_three_groups(self):
+        vals = [4, 4, 4, 2, 2, 2, 3, 3, 3]  # T = 9
+        groups = n_way_partition_solve(vals, 3)
+        assert groups is not None
+        assert all(sum(vals[i] for i in g) == 9 for g in groups)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            n_way_partition_solve([1], 0)
+        with pytest.raises(ValueError):
+            n_way_partition_solve([-1, 1], 1)
+
+
+class TestTheorem3Reduction:
+    """End-to-end: A has a half-sum subset iff the built homogeneous
+    instance admits a mapping with r >= threshold and L <= bound."""
+
+    def solve_reduction(self, a):
+        inst = build_theorem3_instance(a)
+        res = pareto_dp_best(
+            inst.chain, inst.platform, max_latency=inst.max_latency
+        )
+        assert res.feasible  # latency alone is always satisfiable here
+        return res.log_reliability >= inst.min_log_reliability, inst
+
+    def test_yes_instance(self):
+        ok, _ = self.solve_reduction([1, 2, 3])  # {1,2} vs {3}
+        assert ok
+
+    def test_no_instance(self):
+        ok, _ = self.solve_reduction([1, 2, 5])  # total 8, no subset of 4
+        assert not ok
+
+    def test_another_yes(self):
+        ok, _ = self.solve_reduction([2, 2])  # {2} vs {2}
+        assert ok
+
+    def test_another_no(self):
+        ok, _ = self.solve_reduction([1, 1, 4])  # total 6, need 3: impossible
+        assert not ok
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_randomized_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        a = [int(v) for v in rng.integers(1, 5, size=3)]
+        if sum(a) % 2:
+            a[0] += 1
+        expected = two_partition_solve(a) is not None
+        got, _ = self.solve_reduction(a)
+        assert got == expected
+
+    def test_construction_shape(self):
+        inst = build_theorem3_instance([1, 2, 3])
+        n = 3
+        assert inst.chain.n == 3 * n + 1
+        assert inst.platform.p == 6 * n
+        assert inst.platform.max_replication == 2
+        assert inst.platform.homogeneous
+        assert inst.T == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_theorem3_instance([])
+        with pytest.raises(ValueError):
+            build_theorem3_instance([1, 2])  # odd total
+        with pytest.raises(ValueError):
+            build_theorem3_instance([0, 2])
+
+
+class TestTheorem5Reduction:
+    """End-to-end: the 3n numbers split into n equal-sum groups iff the
+    heterogeneous instance reaches the reliability threshold."""
+
+    def solve_reduction(self, a):
+        inst = build_theorem5_instance(a)
+        res = brute_force_best(inst.chain, inst.platform, budget=10_000_000)
+        assert res.feasible
+        return res.log_reliability >= inst.min_log_reliability, inst
+
+    def test_yes_instance(self):
+        # n = 2, T = 6: {4,1,1} {2,2,2} -> both 6.
+        ok, _ = self.solve_reduction([4, 1, 1, 2, 2, 2])
+        assert ok
+
+    def test_no_instance(self):
+        # n = 2, total 12, T = 6 but one value is 7 > 6: unbalanced.
+        ok, _ = self.solve_reduction([7, 1, 1, 1, 1, 1])
+        assert not ok
+
+    def test_equivalence_matches_solver(self):
+        for a in ([4, 1, 1, 2, 2, 2], [7, 1, 1, 1, 1, 1], [3, 3, 2, 2, 1, 1]):
+            expected = n_way_partition_solve(a, len(a) // 3) is not None
+            got, _ = self.solve_reduction(a)
+            assert got == expected, a
+
+    def test_construction_shape(self):
+        inst = build_theorem5_instance([4, 1, 1, 2, 2, 2])
+        assert inst.chain.n == 2
+        assert inst.platform.p == 6
+        assert inst.platform.max_replication == 3
+        assert not inst.platform.homogeneous
+        assert inst.gamma == pytest.approx(1 + 1 / (2 * (6 - 1)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_theorem5_instance([1, 2])  # not 3n values
+        with pytest.raises(ValueError):
+            build_theorem5_instance([1, 1, 1, 1, 1, 2])  # sum not divisible

@@ -1,0 +1,47 @@
+"""Run the doctest examples embedded in every repro module.
+
+Doc examples are part of the public contract: if they drift from the
+implementation, the docs are lying.  This harness walks the package and
+executes all of them.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing the CLI entry point would run it
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module.__name__}"
+
+
+def test_walk_found_the_package():
+    names = {m.__name__ for m in MODULES}
+    for expected in (
+        "repro.core.chain",
+        "repro.algorithms.heuristics",
+        "repro.rbd.diagram",
+        "repro.simulation.pipeline",
+        "repro.complexity.reductions",
+        "repro.experiments.figures",
+        "repro.extensions.energy",
+        "repro.ilp.model",
+        "repro.util.logrel",
+    ):
+        assert expected in names

@@ -1,0 +1,188 @@
+"""Tests for the MILP modeling layer and its two backends."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ilp import (
+    LinExpr,
+    Model,
+    solve_with_branch_bound,
+    solve_with_scipy,
+)
+
+BACKENDS = [solve_with_scipy, solve_with_branch_bound]
+
+
+class TestModeling:
+    def test_expression_algebra(self):
+        m = Model()
+        x, y = m.add_var("x"), m.add_var("y")
+        e = 2 * x + 3 * y - 1 + x
+        assert e.coeffs == {0: 3.0, 1: 3.0}
+        assert e.constant == -1.0
+        e2 = -(e - 4)
+        assert e2.constant == 5.0
+        assert e2.coeffs[0] == -3.0
+
+    def test_rsub_and_radd(self):
+        m = Model()
+        x = m.add_var("x")
+        e = 10 - x
+        assert e.constant == 10.0 and e.coeffs[x.index] == -1.0
+        e = 5 + x
+        assert e.constant == 5.0
+
+    def test_constraint_senses(self):
+        m = Model()
+        x = m.add_var("x")
+        le = m.add_constraint(x <= 5, name="le")
+        ge = m.add_constraint(x >= 1, name="ge")
+        eq = m.add_constraint(x == 2, name="eq")
+        assert le.sense == "<=" and ge.sense == ">=" and eq.sense == "=="
+
+    def test_bad_constraint_rejected(self):
+        m = Model()
+        with pytest.raises(TypeError):
+            m.add_constraint(True)  # type: ignore[arg-type]
+
+    def test_bad_scalar_rejected(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(TypeError):
+            x * x  # type: ignore[operator]
+
+    def test_variable_bounds_validated(self):
+        m = Model()
+        with pytest.raises(ValueError):
+            m.add_var("x", lb=3, ub=1)
+
+    def test_bad_sense(self):
+        with pytest.raises(ValueError):
+            Model(sense="maximize")
+
+    def test_to_arrays_shapes(self):
+        m = Model(sense="min")
+        x = m.add_var("x", lb=0, ub=4)
+        y = m.add_var("y", integer=True, lb=0, ub=1)
+        m.add_constraint(x + 2 * y <= 3)
+        m.add_constraint(x - y >= -1)
+        m.add_constraint(x + y == 2)
+        m.set_objective(x + y + 7)
+        arr = m.to_arrays()
+        assert arr["A_ub"].shape == (2, 2)
+        assert arr["A_eq"].shape == (1, 2)
+        assert arr["integrality"].tolist() == [0, 1]
+        assert float(arr["obj_offset"]) == 7.0
+        # >= rows negated into <=:
+        assert arr["A_ub"][1].tolist() == [-1.0, 1.0]
+        assert arr["b_ub"][1] == 1.0
+
+
+@pytest.mark.parametrize("solve", BACKENDS)
+class TestBackends:
+    def test_pure_lp(self, solve):
+        m = Model(sense="max")
+        x = m.add_var("x", lb=0, ub=10)
+        y = m.add_var("y", lb=0, ub=10)
+        m.add_constraint(x + y <= 8)
+        m.set_objective(3 * x + 2 * y)
+        sol = solve(m)
+        assert sol.optimal
+        assert sol.objective == pytest.approx(3 * 8)
+
+    def test_knapsack(self, solve):
+        values = [10, 13, 7, 8, 6]
+        weights = [3, 4, 2, 3, 2]
+        cap = 7
+        m = Model(sense="max")
+        xs = [m.add_var(f"x{i}", integer=True, lb=0, ub=1) for i in range(5)]
+        cons = None
+        obj = None
+        for x, v, w in zip(xs, values, weights):
+            cons = w * x if cons is None else cons + w * x
+            obj = v * x if obj is None else obj + v * x
+        m.add_constraint(cons <= cap)
+        m.set_objective(obj)
+        sol = solve(m)
+        assert sol.optimal
+        # Optimal: items 1 (v13,w4) + 2 (v7,w2) = 20? vs 0+1=23 w7. -> 23.
+        assert sol.objective == pytest.approx(23)
+
+    def test_minimization(self, solve):
+        m = Model(sense="min")
+        x = m.add_var("x", lb=0, ub=10, integer=True)
+        m.add_constraint(2 * x >= 5)
+        m.set_objective(x + 1)
+        sol = solve(m)
+        assert sol.optimal
+        assert sol.objective == pytest.approx(4)  # x = 3
+        assert sol[x] == pytest.approx(3)
+
+    def test_infeasible(self, solve):
+        m = Model(sense="max")
+        x = m.add_var("x", lb=0, ub=1)
+        m.add_constraint(x >= 2)
+        m.set_objective(x)
+        sol = solve(m)
+        assert sol.status == "infeasible"
+        assert not sol.optimal
+
+    def test_equality_constraints(self, solve):
+        m = Model(sense="max")
+        x = m.add_var("x", lb=0, ub=5, integer=True)
+        y = m.add_var("y", lb=0, ub=5, integer=True)
+        m.add_constraint(x + y == 4)
+        m.set_objective(2 * x + y)
+        sol = solve(m)
+        assert sol.optimal
+        assert sol.objective == pytest.approx(8)  # x=4, y=0
+
+    def test_objective_offset(self, solve):
+        m = Model(sense="max")
+        x = m.add_var("x", lb=0, ub=1, integer=True)
+        m.set_objective(x + 100)
+        sol = solve(m)
+        assert sol.objective == pytest.approx(101)
+
+
+class TestBranchBoundSpecifics:
+    def test_node_budget(self):
+        rng = np.random.default_rng(0)
+        m = Model(sense="max")
+        xs = [m.add_var(f"x{i}", integer=True, lb=0, ub=1) for i in range(30)]
+        w = rng.integers(1, 50, size=30)
+        v = rng.integers(1, 50, size=30)
+        cons = None
+        obj = None
+        for x, wi, vi in zip(xs, w, v):
+            cons = float(wi) * x if cons is None else cons + float(wi) * x
+            obj = float(vi) * x if obj is None else obj + float(vi) * x
+        m.add_constraint(cons <= float(w.sum()) / 2)
+        m.set_objective(obj)
+        with pytest.raises(RuntimeError, match="nodes"):
+            solve_with_branch_bound(m, max_nodes=1)
+
+    def test_agrees_with_scipy_randomized(self):
+        rng = np.random.default_rng(4)
+        for _ in range(6):
+            nv = int(rng.integers(3, 8))
+            m = Model(sense="max")
+            xs = [m.add_var(f"x{i}", integer=True, lb=0, ub=3) for i in range(nv)]
+            obj = None
+            for x in xs:
+                c = float(rng.integers(1, 10))
+                obj = c * x if obj is None else obj + c * x
+            for _ in range(int(rng.integers(1, 4))):
+                cons = None
+                for x in xs:
+                    c = float(rng.integers(0, 5))
+                    cons = c * x if cons is None else cons + c * x
+                m.add_constraint(cons <= float(rng.integers(5, 30)))
+            m.set_objective(obj)
+            a = solve_with_scipy(m)
+            b = solve_with_branch_bound(m)
+            assert a.status == b.status
+            if a.optimal:
+                assert a.objective == pytest.approx(b.objective, rel=1e-9)

@@ -1,0 +1,164 @@
+"""Tests for JSON serialization (repro.io) and the CLI (repro.cli)."""
+
+import json
+import math
+
+import pytest
+
+from repro.core import Interval, Mapping, Platform, TaskChain, random_chain
+from repro.io import FORMAT_VERSION, dumps, from_dict, loads, to_dict
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def chain():
+    return TaskChain([4.0, 6.0, 2.0], [2.0, 1.0, 0.0])
+
+
+@pytest.fixture
+def platform():
+    return Platform(
+        speeds=[2.0, 1.0, 3.0],
+        failure_rates=[1e-6, 2e-6, 5e-7],
+        bandwidth=2.0,
+        link_failure_rate=1e-5,
+        max_replication=2,
+    )
+
+
+@pytest.fixture
+def mapping(chain, platform):
+    return Mapping(
+        chain, platform, [(Interval(0, 2), (0, 1)), (Interval(2, 3), (2,))]
+    )
+
+
+class TestSerialization:
+    def test_chain_roundtrip(self, chain):
+        assert loads(dumps(chain)) == chain
+
+    def test_platform_roundtrip(self, platform):
+        assert loads(dumps(platform)) == platform
+
+    def test_mapping_roundtrip(self, mapping):
+        assert loads(dumps(mapping)) == mapping
+
+    def test_format_version_stamped(self, chain):
+        payload = to_dict(chain)
+        assert payload["repro_format"] == FORMAT_VERSION
+
+    def test_newer_format_rejected(self, chain):
+        payload = to_dict(chain)
+        payload["repro_format"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            from_dict(payload)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown object type"):
+            from_dict({"type": "Starship"})
+        with pytest.raises(ValueError, match="missing 'type'"):
+            from_dict({"work": [1]})
+        with pytest.raises(TypeError):
+            to_dict(42)  # type: ignore[arg-type]
+
+    def test_json_is_plain(self, mapping):
+        payload = json.loads(dumps(mapping))
+        assert payload["type"] == "Mapping"
+        assert payload["intervals"] == [[0, 2], [2, 3]]
+        assert payload["replicas"] == [[0, 1], [2]]
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for cmd in ("solve", "evaluate", "simulate", "figures", "demo"):
+            args = parser.parse_args(
+                [cmd, "x", "y"] if cmd == "solve" else
+                ([cmd, "x"] if cmd in ("evaluate", "simulate") else
+                 ([cmd, "fig6"] if cmd == "figures" else [cmd]))
+            )
+            assert args.command == cmd
+
+    def test_solve_roundtrip(self, tmp_path, chain, capsys):
+        hom = Platform.homogeneous_platform(
+            4, failure_rate=1e-8, link_failure_rate=1e-5, max_replication=2
+        )
+        cpath = tmp_path / "chain.json"
+        ppath = tmp_path / "plat.json"
+        out = tmp_path / "mapping.json"
+        cpath.write_text(dumps(chain))
+        ppath.write_text(dumps(hom))
+        code = main(
+            [
+                "solve", str(cpath), str(ppath),
+                "--max-period", "50", "--max-latency", "100",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "failure prob" in text
+        decoded = loads(out.read_text())
+        assert isinstance(decoded, Mapping)
+
+    def test_solve_infeasible_exit_code(self, tmp_path, chain):
+        hom = Platform.homogeneous_platform(2, max_replication=1)
+        cpath = tmp_path / "chain.json"
+        ppath = tmp_path / "plat.json"
+        cpath.write_text(dumps(chain))
+        ppath.write_text(dumps(hom))
+        code = main(["solve", str(cpath), str(ppath), "--max-period", "0.5"])
+        assert code == 1
+
+    def test_solve_heuristic_on_het(self, tmp_path, chain, platform, capsys):
+        cpath = tmp_path / "chain.json"
+        ppath = tmp_path / "plat.json"
+        cpath.write_text(dumps(chain))
+        ppath.write_text(dumps(platform))
+        code = main(["solve", str(cpath), str(ppath)])
+        assert code == 0
+        assert "heuristic" in capsys.readouterr().out
+
+    def test_wrong_file_type_rejected(self, tmp_path, chain):
+        cpath = tmp_path / "chain.json"
+        cpath.write_text(dumps(chain))
+        with pytest.raises(SystemExit, match="expected Platform"):
+            main(["solve", str(cpath), str(cpath)])
+
+    def test_evaluate(self, tmp_path, mapping, capsys):
+        mpath = tmp_path / "mapping.json"
+        mpath.write_text(dumps(mapping))
+        assert main(["evaluate", str(mpath)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0 <= payload["failure_probability"] <= 1
+        assert payload["worst_case_latency"] >= payload["expected_latency"]
+
+    def test_simulate(self, tmp_path, mapping, capsys):
+        mpath = tmp_path / "mapping.json"
+        mpath.write_text(dumps(mapping))
+        code = main(["simulate", str(mpath), "--datasets", "300", "--seed", "1"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "reliability_ok" in payload
+        assert code in (0, 1)
+
+    def test_figures_small(self, capsys):
+        code = main(
+            ["figures", "fig10", "--instances", "2", "--exact", "pareto-dp"]
+        )
+        assert code == 0
+        assert "fig10 [hom-linked]" in capsys.readouterr().out
+
+    def test_figures_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "fig99"])
+
+    def test_demo_homogeneous(self, capsys):
+        assert main(["demo", "--tasks", "5", "--processors", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "derived bounds" in out
+
+    def test_demo_heterogeneous(self, capsys):
+        assert main(
+            ["demo", "--tasks", "5", "--processors", "4", "--heterogeneous"]
+        ) == 0
+        assert "heuristic" in capsys.readouterr().out

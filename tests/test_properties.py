@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) on the core numerics and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Platform, TaskChain, evaluate_mapping, Interval, Mapping
+from repro.core.evaluation import (
+    expected_cost,
+    mapping_log_reliability,
+    stage_log_reliability,
+    worst_case_cost,
+)
+from repro.util import logrel
+from repro.util.pareto import ParetoFrontier, dominates
+
+# Log-reliabilities in a representable, interesting range.
+logrels = st.floats(min_value=-50.0, max_value=0.0, allow_nan=False)
+tiny_logrels = st.floats(min_value=-1e-6, max_value=0.0, allow_nan=False)
+probs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestLogrelProperties:
+    @given(st.lists(logrels, min_size=1, max_size=8))
+    def test_serial_never_exceeds_weakest_link(self, ells):
+        assert logrel.serial(ells) <= min(ells) + 1e-12
+
+    @given(st.lists(logrels, min_size=1, max_size=8))
+    def test_parallel_never_below_strongest_branch(self, ells):
+        assert logrel.parallel(ells) >= max(ells) - 1e-12
+
+    @given(st.lists(logrels, min_size=1, max_size=6))
+    def test_parallel_permutation_invariant(self, ells):
+        import random
+
+        shuffled = ells[:]
+        random.Random(0).shuffle(shuffled)
+        assert logrel.parallel(ells) == pytest.approx(
+            logrel.parallel(shuffled), rel=1e-9, abs=1e-300
+        )
+
+    @given(logrels, st.integers(min_value=1, max_value=10))
+    def test_parallel_k_matches_list_form(self, ell, k):
+        assert logrel.parallel_k(ell, k) == pytest.approx(
+            logrel.parallel([ell] * k), rel=1e-9, abs=1e-300
+        )
+
+    @given(logrels, st.integers(min_value=1, max_value=9))
+    def test_replication_monotone(self, ell, k):
+        assume(ell < 0)
+        assert logrel.parallel_k(ell, k + 1) >= logrel.parallel_k(ell, k)
+
+    @given(logrels)
+    def test_failure_reliability_complement(self, ell):
+        assert logrel.failure(ell) + logrel.reliability(ell) == pytest.approx(1.0)
+
+    @given(probs)
+    def test_from_failure_roundtrip(self, f):
+        assume(f < 1.0)
+        assert logrel.failure(logrel.from_failure(f)) == pytest.approx(
+            f, rel=1e-12, abs=1e-300
+        )
+
+    @given(tiny_logrels, st.integers(min_value=1, max_value=3))
+    def test_precision_in_paper_regime(self, ell, k):
+        """f(k replicas) == f(single)^k to high relative accuracy even
+        when the failure probabilities are ~1e-6..1e-300."""
+        assume(ell < 0)
+        f1 = logrel.failure(ell)
+        fk = logrel.failure(logrel.parallel_k(ell, k))
+        assume(f1 > 0 and fk > 0)
+        assert fk == pytest.approx(f1**k, rel=1e-6)
+
+    @given(st.lists(logrels, min_size=1, max_size=6))
+    def test_vectorized_matches_scalar(self, ells):
+        arr = np.array(ells)
+        out = logrel.parallel_k_many(arr, 2)
+        for e, o in zip(ells, out):
+            assert o == pytest.approx(logrel.parallel_k(e, 2), rel=1e-9, abs=1e-300)
+
+
+class TestParetoProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            max_size=60,
+        )
+    )
+    def test_frontier_invariants(self, points):
+        f = ParetoFrontier()
+        for c, v in points:
+            f.insert(c, v)
+        kept = [(c, v) for c, v, _ in f]
+        # sorted by cost, strictly increasing value
+        costs = [c for c, _ in kept]
+        values = [v for _, v in kept]
+        assert costs == sorted(costs)
+        assert all(b > a for a, b in zip(values, values[1:]))
+        # mutual non-domination
+        for i, a in enumerate(kept):
+            for j, b in enumerate(kept):
+                if i != j:
+                    assert not dominates(*a, *b)
+        # completeness: every input point is covered by some kept point
+        for c, v in points:
+            assert any(kc <= c and kv >= v for kc, kv in kept)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+                st.floats(min_value=0, max_value=10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0, max_value=10, allow_nan=False),
+    )
+    def test_best_value_within_is_exact(self, points, budget):
+        f = ParetoFrontier()
+        for c, v in points:
+            f.insert(c, v)
+        hit = f.best_value_within(budget)
+        brute = [v for c, v in points if c <= budget]
+        if not brute:
+            assert hit is None
+        else:
+            assert hit is not None
+            assert hit[0] == pytest.approx(max(brute))
+
+
+@st.composite
+def small_instances(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    work = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=100.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    output = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    p = draw(st.integers(min_value=1, max_value=5))
+    speeds = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=20.0, allow_nan=False),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    rates = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+            min_size=p,
+            max_size=p,
+        )
+    )
+    K = draw(st.integers(min_value=1, max_value=3))
+    chain = TaskChain(work, output)
+    platform = Platform(
+        speeds, rates, bandwidth=1.0, link_failure_rate=1e-3, max_replication=K
+    )
+    return chain, platform
+
+
+@st.composite
+def instance_with_mapping(draw):
+    chain, platform = draw(small_instances())
+    n, p, K = chain.n, platform.p, platform.max_replication
+    # Random partition.
+    cuts = sorted(
+        draw(
+            st.sets(st.integers(min_value=1, max_value=max(n - 1, 1)), max_size=n - 1)
+        )
+    ) if n > 1 else []
+    m = len(cuts) + 1
+    assume(m <= p)
+    from repro.core.interval import partition_from_cuts
+
+    partition = partition_from_cuts(n, cuts)
+    # Random disjoint replica sets.
+    procs = list(range(p))
+    draw_order = draw(st.permutations(procs))
+    replicas = []
+    idx = 0
+    for j in range(m):
+        left_needed = m - j - 1
+        avail = len(draw_order) - idx - left_needed
+        q = draw(st.integers(min_value=1, max_value=max(1, min(K, avail))))
+        replicas.append(tuple(draw_order[idx : idx + q]))
+        idx += q
+    mapping = Mapping(chain, platform, list(zip(partition, replicas)))
+    return mapping
+
+
+class TestEvaluationProperties:
+    @given(instance_with_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_objective_sanity(self, mapping):
+        ev = evaluate_mapping(mapping)
+        assert ev.log_reliability <= 0.0
+        assert 0.0 <= ev.failure_probability <= 1.0
+        assert ev.expected_latency <= ev.worst_case_latency + 1e-9
+        assert ev.expected_period <= ev.worst_case_period + 1e-9
+        assert ev.worst_case_period <= ev.worst_case_latency + 1e-9
+
+    @given(instance_with_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_eq9_equals_stage_product(self, mapping):
+        chain, platform = mapping.chain, mapping.platform
+        total = sum(
+            stage_log_reliability(chain, platform, iv.start, iv.stop, procs)
+            for iv, procs in mapping
+        )
+        assert mapping_log_reliability(mapping) == pytest.approx(
+            total, rel=1e-12, abs=1e-300
+        )
+
+    @given(instance_with_mapping())
+    @settings(max_examples=60, deadline=None)
+    def test_costs_bracket_speeds(self, mapping):
+        chain, platform = mapping.chain, mapping.platform
+        for iv, procs in mapping:
+            w = chain.work_between(iv.start, iv.stop)
+            fastest = max(float(platform.speeds[u]) for u in procs)
+            slowest = min(float(platform.speeds[u]) for u in procs)
+            ec = expected_cost(chain, platform, iv.start, iv.stop, procs)
+            wc = worst_case_cost(chain, platform, iv.start, iv.stop, procs)
+            assert w / fastest * (1 - 1e-9) - 1e-9 <= ec
+            assert ec <= w / slowest * (1 + 1e-9) + 1e-9
+            assert wc == pytest.approx(w / slowest)
+
+    @given(instance_with_mapping())
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_adding_replica_improves_reliability(self, mapping):
+        platform = mapping.platform
+        used = {u for procs in mapping.replicas for u in procs}
+        free = [u for u in range(platform.p) if u not in used]
+        assume(free)
+        # Find an interval below the replication cap.
+        target = None
+        for j, procs in enumerate(mapping.replicas):
+            if len(procs) < platform.max_replication:
+                target = j
+                break
+        assume(target is not None)
+        assignment = [
+            (iv, procs + (free[0],) if j == target else procs)
+            for j, (iv, procs) in enumerate(mapping)
+        ]
+        bigger = Mapping(mapping.chain, platform, assignment)
+        assert mapping_log_reliability(bigger) >= mapping_log_reliability(mapping) - 1e-15
+
+
+class TestDPAgainstBruteForceProperty:
+    @given(small_instances())
+    @settings(max_examples=25, deadline=None)
+    def test_algorithm1_optimal_on_hom(self, inst):
+        chain, platform = inst
+        # Make it homogeneous by copying processor 0.
+        hom = Platform(
+            [float(platform.speeds[0])] * platform.p,
+            [float(platform.failure_rates[0])] * platform.p,
+            bandwidth=platform.bandwidth,
+            link_failure_rate=platform.link_failure_rate,
+            max_replication=platform.max_replication,
+        )
+        from repro.algorithms import brute_force_best, optimize_reliability
+
+        dp = optimize_reliability(chain, hom)
+        bf = brute_force_best(chain, hom)
+        assert dp.log_reliability == pytest.approx(
+            bf.log_reliability, rel=1e-9, abs=1e-300
+        )

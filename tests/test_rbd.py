@@ -1,0 +1,394 @@
+"""Tests for the RBD substrate: structure, builders, evaluators, bounds."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Interval, Mapping, Platform, TaskChain, random_chain
+from repro.core.evaluation import mapping_log_reliability
+from repro.rbd import (
+    RBD,
+    cut_set_lower_bound,
+    estimate_log_reliability,
+    exact_log_reliability_enumeration,
+    exact_log_reliability_factoring,
+    minimal_cut_sets,
+    minimal_path_sets,
+    path_set_upper_bound,
+    rbd_with_routing,
+    rbd_without_routing,
+    series_parallel_log_reliability,
+)
+from repro.rbd.diagram import DEST, SOURCE
+from repro.rbd.seriesparallel import NotSeriesParallel
+from repro.util import logrel
+
+
+def series_rbd(ells):
+    rbd = RBD()
+    prev = SOURCE
+    for i, ell in enumerate(ells):
+        rbd.add_block(i, ell)
+        rbd.add_edge(prev, i)
+        prev = i
+    rbd.add_edge(prev, DEST)
+    return rbd
+
+
+def parallel_rbd(ells):
+    rbd = RBD()
+    for i, ell in enumerate(ells):
+        rbd.add_block(i, ell)
+        rbd.add_edge(SOURCE, i)
+        rbd.add_edge(i, DEST)
+    return rbd
+
+
+def bridge_rbd():
+    """The classic non-SP bridge network with 5 blocks."""
+    rbd = RBD()
+    for name, ell in zip("abcde", (-0.1, -0.2, -0.3, -0.4, -0.5)):
+        rbd.add_block(name, ell)
+    rbd.add_edge(SOURCE, "a")
+    rbd.add_edge(SOURCE, "b")
+    rbd.add_edge("a", "c")
+    rbd.add_edge("b", "c")  # c is the bridge
+    rbd.add_edge("a", "d")
+    rbd.add_edge("c", "d")
+    rbd.add_edge("c", "e")
+    rbd.add_edge("b", "e")
+    rbd.add_edge("d", DEST)
+    rbd.add_edge("e", DEST)
+    return rbd
+
+
+@pytest.fixture
+def small_mapping():
+    chain = TaskChain([4.0, 6.0], [2.0, 0.0])
+    plat = Platform(
+        speeds=[1.0, 2.0, 1.5, 1.0],
+        failure_rates=[1e-2, 2e-2, 5e-3, 1e-2],
+        bandwidth=1.0,
+        link_failure_rate=1e-2,
+        max_replication=2,
+    )
+    return Mapping(
+        chain, plat, [(Interval(0, 1), (0, 1)), (Interval(1, 2), (2, 3))]
+    )
+
+
+class TestDiagramStructure:
+    def test_reserved_names(self):
+        rbd = RBD()
+        with pytest.raises(ValueError, match="reserved"):
+            rbd.add_block(SOURCE, -0.1)
+
+    def test_duplicate_block(self):
+        rbd = RBD()
+        rbd.add_block("x", -0.1)
+        with pytest.raises(ValueError, match="already"):
+            rbd.add_block("x", -0.2)
+
+    def test_edge_requires_existing_nodes(self):
+        rbd = RBD()
+        with pytest.raises(ValueError, match="unknown"):
+            rbd.add_edge(SOURCE, "ghost")
+
+    def test_cycle_rejected(self):
+        rbd = RBD()
+        rbd.add_block("a", -0.1)
+        rbd.add_block("b", -0.1)
+        rbd.add_edge("a", "b")
+        with pytest.raises(ValueError, match="cycle"):
+            rbd.add_edge("b", "a")
+
+    def test_self_loop_rejected(self):
+        rbd = RBD()
+        rbd.add_block("a", -0.1)
+        with pytest.raises(ValueError, match="self-loop"):
+            rbd.add_edge("a", "a")
+
+    def test_validate_requires_path(self):
+        rbd = RBD()
+        rbd.add_block("a", -0.1)
+        rbd.add_edge(SOURCE, "a")
+        with pytest.raises(ValueError, match="no path"):
+            rbd.validate()
+
+    def test_validate_rejects_dangling_block(self):
+        rbd = series_rbd([-0.1])
+        rbd.add_block("dangling", -0.5)
+        rbd.add_edge(SOURCE, "dangling")
+        with pytest.raises(ValueError, match="no S->D path"):
+            rbd.validate()
+
+    def test_operational_semantics(self):
+        rbd = parallel_rbd([-0.1, -0.2])
+        assert rbd.operational({0})
+        assert rbd.operational({1})
+        assert not rbd.operational(set())
+
+    def test_block_properties(self):
+        rbd = RBD()
+        rbd.add_block("x", math.log(0.75))
+        assert rbd.block("x").reliability == pytest.approx(0.75)
+        assert rbd.block("x").failure == pytest.approx(0.25)
+
+
+class TestExactEvaluators:
+    def test_series_closed_form(self):
+        ells = [-0.1, -0.2, -0.3]
+        rbd = series_rbd(ells)
+        want = sum(ells)
+        assert exact_log_reliability_enumeration(rbd) == pytest.approx(want, rel=1e-12)
+        assert exact_log_reliability_factoring(rbd) == pytest.approx(want, rel=1e-12)
+        assert series_parallel_log_reliability(rbd) == pytest.approx(want, rel=1e-12)
+
+    def test_parallel_closed_form(self):
+        ells = [-0.5, -1.0, -2.0]
+        rbd = parallel_rbd(ells)
+        want = logrel.parallel(ells)
+        assert exact_log_reliability_enumeration(rbd) == pytest.approx(want, rel=1e-12)
+        assert exact_log_reliability_factoring(rbd) == pytest.approx(want, rel=1e-12)
+        assert series_parallel_log_reliability(rbd) == pytest.approx(want, rel=1e-12)
+
+    def test_bridge_factoring_matches_enumeration(self):
+        rbd = bridge_rbd()
+        a = exact_log_reliability_enumeration(rbd)
+        b = exact_log_reliability_factoring(rbd)
+        assert a == pytest.approx(b, rel=1e-10)
+
+    def test_bridge_closed_form(self):
+        # Known closed form by conditioning on the bridge block c.
+        rbd = bridge_rbd()
+        ra, rb, rc, rd, re = (math.exp(-x) for x in (0.1, 0.2, 0.3, 0.4, 0.5))
+        # c up: (a|b) in series with (d|e): paths a-d, a-e?? careful:
+        # with c up the network is (a OR b) -> (d OR e)? Not quite: path
+        # a->d exists directly; b->e directly; through c: a->c->e, b->c->d.
+        # With c up, reachable: works iff (a and d) or (b and e) or
+        # (a and e) or (b and d) = (a or b) and (d or e).
+        p_up = (1 - (1 - ra) * (1 - rb)) * (1 - (1 - rd) * (1 - re))
+        # c down: only direct pairs.
+        p_down = 1 - (1 - ra * rd) * (1 - rb * re)
+        want = math.log(rc * p_up + (1 - rc) * p_down)
+        assert exact_log_reliability_factoring(rbd) == pytest.approx(want, rel=1e-12)
+
+    def test_bridge_not_series_parallel(self):
+        with pytest.raises(NotSeriesParallel):
+            series_parallel_log_reliability(bridge_rbd())
+
+    def test_enumeration_cap(self):
+        rbd = series_rbd([-0.1] * 23)
+        with pytest.raises(ValueError, match="cap"):
+            exact_log_reliability_enumeration(rbd)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 9))
+        rbd = RBD()
+        for i in range(n):
+            rbd.add_block(i, float(-rng.uniform(0.01, 2.0)))
+        # Random layered DAG: S -> layer edges -> D.
+        for i in range(n):
+            if rng.random() < 0.4 or i == 0:
+                rbd.add_edge(SOURCE, i)
+            for j in range(i + 1, n):
+                if rng.random() < 0.35:
+                    rbd.add_edge(i, j)
+            if rng.random() < 0.4 or i == n - 1:
+                rbd.add_edge(i, DEST)
+        a = exact_log_reliability_enumeration(rbd)
+        b = exact_log_reliability_factoring(rbd)
+        if a == -math.inf:
+            assert b == -math.inf
+        else:
+            assert b == pytest.approx(a, rel=1e-9)
+
+
+class TestPathAndCutSets:
+    def test_series_structure(self):
+        rbd = series_rbd([-0.1, -0.2])
+        assert minimal_path_sets(rbd) == [frozenset({0, 1})]
+        cuts = minimal_cut_sets(rbd)
+        assert sorted(cuts, key=str) == [frozenset({0}), frozenset({1})]
+
+    def test_parallel_structure(self):
+        rbd = parallel_rbd([-0.1, -0.2])
+        assert sorted(minimal_path_sets(rbd), key=str) == [
+            frozenset({0}),
+            frozenset({1}),
+        ]
+        assert minimal_cut_sets(rbd) == [frozenset({0, 1})]
+
+    def test_bridge_cut_sets(self):
+        # Classic: {a,b}, {d,e}, {a,c,e}, {b,c,d}.
+        cuts = set(minimal_cut_sets(bridge_rbd()))
+        assert cuts == {
+            frozenset("ab"),
+            frozenset("de"),
+            frozenset("ace"),
+            frozenset("bcd"),
+        }
+
+    def test_bridge_path_sets(self):
+        paths = set(minimal_path_sets(bridge_rbd()))
+        assert paths == {
+            frozenset("ad"),
+            frozenset("be"),
+            frozenset("ace"),
+            frozenset("bcd"),
+        }
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fkg_bounds_sandwich_exact(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(3, 8))
+        rbd = RBD()
+        for i in range(n):
+            rbd.add_block(i, float(-rng.uniform(0.05, 1.5)))
+        for i in range(n):
+            if rng.random() < 0.5 or i == 0:
+                rbd.add_edge(SOURCE, i)
+            for j in range(i + 1, n):
+                if rng.random() < 0.3:
+                    rbd.add_edge(i, j)
+            if rng.random() < 0.5 or i == n - 1:
+                rbd.add_edge(i, DEST)
+        exact = exact_log_reliability_enumeration(rbd)
+        if exact == -math.inf:
+            return
+        lo = cut_set_lower_bound(rbd)
+        hi = path_set_upper_bound(rbd)
+        assert lo <= exact + 1e-12
+        assert hi >= exact - 1e-12
+
+    def test_cut_bound_exact_on_series(self):
+        rbd = series_rbd([-0.3, -0.4])
+        assert cut_set_lower_bound(rbd) == pytest.approx(-0.7, rel=1e-12)
+
+    def test_path_bound_exact_on_parallel(self):
+        rbd = parallel_rbd([-0.3, -0.4])
+        assert path_set_upper_bound(rbd) == pytest.approx(
+            logrel.parallel([-0.3, -0.4]), rel=1e-12
+        )
+
+
+class TestMappingBuilders:
+    def test_routed_rbd_matches_eq9(self, small_mapping):
+        rbd = rbd_with_routing(small_mapping)
+        got = series_parallel_log_reliability(rbd)
+        want = mapping_log_reliability(small_mapping)
+        assert got == pytest.approx(want, rel=1e-12)
+
+    def test_routed_rbd_exact_evaluators_agree(self, small_mapping):
+        rbd = rbd_with_routing(small_mapping)
+        want = mapping_log_reliability(small_mapping)
+        assert exact_log_reliability_enumeration(rbd) == pytest.approx(want, rel=1e-10)
+        assert exact_log_reliability_factoring(rbd) == pytest.approx(want, rel=1e-10)
+
+    def test_unrouted_rbd_is_not_sp_with_replication(self, small_mapping):
+        rbd = rbd_without_routing(small_mapping)
+        with pytest.raises(NotSeriesParallel):
+            series_parallel_log_reliability(rbd)
+
+    def test_unrouted_rbd_block_count(self, small_mapping):
+        # 2 + 2 interval blocks + 2*2 comm blocks (one boundary).
+        rbd = rbd_without_routing(small_mapping)
+        assert rbd.n_blocks == 8
+
+    def test_routed_block_count(self, small_mapping):
+        # 4 interval blocks + 2 comm-out + 1 router + 2 comm-in = 9.
+        rbd = rbd_with_routing(small_mapping)
+        assert rbd.n_blocks == 9
+
+    def test_unrouted_at_least_as_reliable_as_routed(self, small_mapping):
+        """Routing funnels all traffic through one router path; removing
+        it can only add redundancy (every routed path maps to an
+        unrouted one)."""
+        routed = mapping_log_reliability(small_mapping)
+        unrouted = exact_log_reliability_factoring(
+            rbd_without_routing(small_mapping)
+        )
+        assert unrouted >= routed - 1e-15
+
+    def test_single_interval_no_router(self):
+        chain = TaskChain([4.0], [0.0])
+        plat = Platform([1.0, 1.0], [1e-2, 1e-2], max_replication=2)
+        m = Mapping(chain, plat, [(Interval(0, 1), (0, 1))])
+        routed = rbd_with_routing(m)
+        unrouted = rbd_without_routing(m)
+        assert routed.n_blocks == 2 == unrouted.n_blocks
+        want = mapping_log_reliability(m)
+        assert series_parallel_log_reliability(routed) == pytest.approx(want, rel=1e-12)
+        assert exact_log_reliability_factoring(unrouted) == pytest.approx(want, rel=1e-12)
+
+    def test_unreliable_router_hurts(self, small_mapping):
+        perfect = series_parallel_log_reliability(rbd_with_routing(small_mapping))
+        lossy = series_parallel_log_reliability(
+            rbd_with_routing(small_mapping, routing_log_reliability=-0.1)
+        )
+        assert lossy == pytest.approx(perfect - 0.1, rel=1e-9)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_mappings_sp_equals_eq9(self, seed):
+        rng = np.random.default_rng(200 + seed)
+        n = int(rng.integers(2, 5))
+        chain = random_chain(n, rng)
+        p = int(rng.integers(2, 6))
+        plat = Platform(
+            speeds=rng.uniform(1, 10, p),
+            failure_rates=rng.uniform(1e-4, 1e-2, p),
+            bandwidth=2.0,
+            link_failure_rate=1e-3,
+            max_replication=2,
+        )
+        # Random 2-interval mapping when possible.
+        if n >= 2 and p >= 2:
+            cut = int(rng.integers(1, n))
+            procs = rng.permutation(p)
+            k1 = int(rng.integers(1, min(2, p - 1) + 1))
+            mapping = Mapping(
+                chain,
+                plat,
+                [
+                    (Interval(0, cut), tuple(int(x) for x in procs[:k1])),
+                    (Interval(cut, n), (int(procs[k1]),)),
+                ],
+            )
+            rbd = rbd_with_routing(mapping)
+            assert series_parallel_log_reliability(rbd) == pytest.approx(
+                mapping_log_reliability(mapping), rel=1e-10
+            )
+
+
+class TestMonteCarlo:
+    def test_estimates_series(self):
+        rbd = series_rbd([math.log(0.9), math.log(0.8)])
+        est = estimate_log_reliability(rbd, trials=40_000, rng=0)
+        assert est.consistent_with(math.log(0.72))
+
+    def test_estimates_bridge(self):
+        rbd = bridge_rbd()
+        exact = exact_log_reliability_factoring(rbd)
+        est = estimate_log_reliability(rbd, trials=40_000, rng=1)
+        assert est.consistent_with(exact)
+
+    def test_wilson_interval_sane(self):
+        from repro.rbd.montecarlo import wilson_interval
+
+        lo, hi = wilson_interval(90, 100)
+        assert 0.8 < lo < 0.9 < hi < 0.97
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+
+    def test_no_blocks_direct_edge(self):
+        rbd = RBD()
+        rbd.graph.add_edge(SOURCE, DEST)
+        est = estimate_log_reliability(rbd, trials=10, rng=2)
+        assert est.reliability == 1.0
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            estimate_log_reliability(series_rbd([-0.1]), trials=0)

@@ -1,0 +1,122 @@
+"""Tests for the static periodic schedule (Section 1 deadline model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Interval, Mapping, Platform, TaskChain, evaluate_mapping
+from repro.core.schedule import build_schedule
+from repro.simulation import NoFaults, PipelineSimulator
+
+
+@pytest.fixture
+def mapping():
+    chain = TaskChain([4.0, 6.0, 2.0], [2.0, 1.0, 0.0])
+    plat = Platform(
+        speeds=[2.0, 1.0, 2.0, 1.0],
+        failure_rates=[1e-6] * 4,
+        bandwidth=1.0,
+        link_failure_rate=1e-6,
+        max_replication=2,
+    )
+    return Mapping(
+        chain,
+        plat,
+        [(Interval(0, 2), (0, 1)), (Interval(2, 3), (2, 3))],
+    )
+
+
+class TestBuildSchedule:
+    def test_offsets_follow_worst_case_chain(self, mapping):
+        sched = build_schedule(mapping)
+        ev = evaluate_mapping(mapping)
+        # Stage 0: starts at 0; stage 1 starts after wc_0 + o_0/b.
+        assert sched.stage_offsets[0] == 0.0
+        assert sched.stage_offsets[1] == pytest.approx(
+            ev.worst_case_costs[0] + 1.0
+        )
+
+    def test_latency_equals_wl(self, mapping):
+        sched = build_schedule(mapping)
+        ev = evaluate_mapping(mapping)
+        assert sched.latency == pytest.approx(ev.worst_case_latency)
+
+    def test_default_period_is_wp(self, mapping):
+        sched = build_schedule(mapping)
+        ev = evaluate_mapping(mapping)
+        assert sched.period == pytest.approx(ev.worst_case_period)
+
+    def test_too_small_period_rejected(self, mapping):
+        ev = evaluate_mapping(mapping)
+        with pytest.raises(ValueError, match="cannot keep up"):
+            build_schedule(mapping, period=ev.worst_case_period * 0.5)
+
+    def test_start_and_completion_times(self, mapping):
+        sched = build_schedule(mapping, period=20.0)
+        assert sched.start_time(0, 0) == 0.0
+        assert sched.start_time(0, 3) == pytest.approx(60.0)
+        assert sched.completion_time(2) == pytest.approx(sched.latency + 40.0)
+        with pytest.raises(ValueError):
+            sched.start_time(5, 0)
+        with pytest.raises(ValueError):
+            sched.completion_time(-1)
+
+    def test_meets_deadlines(self, mapping):
+        sched = build_schedule(mapping)
+        assert sched.meets_deadlines(sched.latency)
+        assert not sched.meets_deadlines(sched.latency - 1.0)
+
+
+class TestProcessorWindows:
+    def test_no_overlap_at_wp(self, mapping):
+        """At P = WP, consecutive data sets never overlap on a processor."""
+        sched = build_schedule(mapping)
+        for u in range(mapping.platform.p):
+            windows = sched.processor_busy_intervals(u, 5)
+            for (a1, b1), (a2, b2) in zip(windows, windows[1:]):
+                assert b1 <= a2 + 1e-9
+
+    def test_unused_processor_has_no_windows(self):
+        chain = TaskChain([4.0], [0.0])
+        plat = Platform.homogeneous_platform(3, max_replication=1)
+        m = Mapping(chain, plat, [(Interval(0, 1), (0,))])
+        sched = build_schedule(m)
+        assert sched.processor_busy_intervals(2, 3) == []
+
+
+class TestGantt:
+    def test_renders_all_replicas(self, mapping):
+        sched = build_schedule(mapping)
+        art = sched.gantt(n_datasets=2)
+        lines = art.splitlines()
+        assert len(lines) == 1 + mapping.processors_used
+        assert "P0" in art and "P3" in art
+
+    def test_datasets_appear_as_digits(self, mapping):
+        art = build_schedule(mapping).gantt(n_datasets=3)
+        assert "0" in art and "1" in art and "2" in art
+
+    def test_invalid_args(self, mapping):
+        with pytest.raises(ValueError):
+            build_schedule(mapping).gantt(n_datasets=0)
+
+
+class TestAgainstSimulator:
+    def test_static_schedule_bounds_fault_free_execution(self, mapping):
+        """Section 1's claim: with period >= WP and the static offsets,
+        every data set K completes by K*P + WL.  The event-driven
+        simulator (which forwards *as early as possible*) must finish no
+        later than the static schedule at every data set."""
+        sched = build_schedule(mapping)
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        run = sim.run(n_datasets=8, period=sched.period)
+        for k, t in enumerate(run.completion_times):
+            assert t <= sched.completion_time(k) + 1e-9
+
+    def test_deadline_statement(self, mapping):
+        """Data set K entering at K*P meets deadline K*P + L iff the
+        schedule latency is <= L."""
+        sched = build_schedule(mapping, period=20.0)
+        L = sched.latency
+        for k in range(5):
+            deadline = k * 20.0 + L
+            assert sched.completion_time(k) <= deadline + 1e-9

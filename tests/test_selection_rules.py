@@ -1,0 +1,127 @@
+"""Tests for the two Section 7 selection readings and the forced-het
+allocation mode (the Section 8.2 experiment semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import heuristic_best
+from repro.algorithms.heuristics import heuristic_candidates
+from repro.core import Platform, TaskChain, random_chain, random_platform
+
+
+def hom5(p=10):
+    return Platform.homogeneous_platform(
+        p, speed=5.0, failure_rate=1e-8, link_failure_rate=1e-5, max_replication=3
+    )
+
+
+class TestSelectionRules:
+    def test_rules_coincide_without_bounds(self):
+        chain = random_chain(8, rng=0)
+        plat = hom5()
+        a = heuristic_best(chain, plat, selection="feasible-best")
+        b = heuristic_best(chain, plat, selection="best-then-check")
+        assert a.feasible and b.feasible
+        assert a.log_reliability == pytest.approx(b.log_reliability, rel=1e-12)
+
+    def test_best_then_check_can_lose_feasible_solutions(self):
+        """On a hom platform with Algo-Alloc, the most reliable division
+        is the single interval; under a tight period bound it is
+        infeasible while a split division passes — best-then-check must
+        report infeasible where feasible-best succeeds."""
+        chain = TaskChain([10.0, 10.0], [1.0, 0.0])
+        # Unreliable links make the unsplit division the reliability
+        # winner (no communications), but its period (20) violates P.
+        plat = Platform.homogeneous_platform(
+            4, failure_rate=1e-6, link_failure_rate=1e-2, max_replication=2
+        )
+        P = 12.0  # single interval period = 20 > P; split = 10 <= P
+        feasible = heuristic_best(
+            chain, plat, max_period=P, selection="feasible-best"
+        )
+        paperish = heuristic_best(
+            chain, plat, max_period=P, selection="best-then-check"
+        )
+        assert feasible.feasible
+        assert not paperish.feasible
+
+    def test_het_allocation_mode_restores_agreement(self):
+        """With allocation='het' the period filter removes the
+        infeasible division before selection, so best-then-check
+        succeeds again (the Section 8.2 code path)."""
+        chain = TaskChain([10.0, 10.0], [1.0, 0.0])
+        plat = Platform.homogeneous_platform(
+            4, failure_rate=1e-6, link_failure_rate=1e-2, max_replication=2
+        )
+        res = heuristic_best(
+            chain,
+            plat,
+            max_period=12.0,
+            selection="best-then-check",
+            allocation="het",
+        )
+        assert res.feasible
+        assert res.evaluation.worst_case_period <= 12.0 + 1e-9
+
+    def test_feasible_best_dominates_best_then_check(self):
+        rng = np.random.default_rng(5)
+        for _ in range(6):
+            chain = random_chain(8, rng)
+            plat = random_platform(6, rng)
+            P = float(rng.uniform(20, 80))
+            L = float(rng.uniform(80, 300))
+            fb = heuristic_best(
+                chain, plat, max_period=P, max_latency=L, selection="feasible-best"
+            )
+            bc = heuristic_best(
+                chain, plat, max_period=P, max_latency=L, selection="best-then-check"
+            )
+            # best-then-check feasibility implies feasible-best
+            # feasibility, never the other way around.
+            assert (not bc.feasible) or fb.feasible
+            if bc.feasible:
+                assert fb.log_reliability >= bc.log_reliability - 1e-15
+
+    def test_unknown_selection_rejected(self):
+        chain = TaskChain([1.0], [0.0])
+        with pytest.raises(ValueError, match="selection"):
+            heuristic_best(chain, hom5(2), selection="coin-flip")
+
+    def test_unknown_allocation_rejected(self):
+        chain = TaskChain([1.0], [0.0])
+        with pytest.raises(ValueError, match="allocation"):
+            heuristic_candidates(chain, hom5(2), "heur-p", allocation="magic")
+
+
+class TestForcedHetAllocation:
+    def test_het_mode_respects_period_on_hom(self):
+        chain = random_chain(6, rng=7)
+        plat = hom5(8)
+        P = 60.0
+        cands = heuristic_candidates(
+            chain, plat, "heur-p", max_period=P, allocation="het"
+        )
+        for cand in cands:
+            if cand.mapping is not None:
+                ev = cand.evaluation
+                assert max(ev.worst_case_costs) <= P + 1e-9
+
+    def test_auto_mode_ignores_period_in_allocation(self):
+        # Algo-Alloc allocates regardless; the bound check happens after.
+        chain = TaskChain([100.0], [0.0])
+        plat = hom5(3)
+        cands = heuristic_candidates(
+            chain, plat, "heur-p", max_period=1.0, allocation="auto"
+        )
+        assert cands[0].mapping is not None
+        assert not cands[0].feasible
+
+    def test_het_mode_fails_unhostable_division(self):
+        chain = TaskChain([100.0], [0.0])
+        plat = hom5(3)
+        cands = heuristic_candidates(
+            chain, plat, "heur-p", max_period=1.0, allocation="het"
+        )
+        assert cands[0].mapping is None

@@ -1,0 +1,271 @@
+"""Tests for the discrete-event simulator and its agreement with Section 4."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import Interval, Mapping, Platform, TaskChain, evaluate_mapping
+from repro.simulation import (
+    BernoulliFaults,
+    Engine,
+    NoFaults,
+    PipelineSimulator,
+    PoissonFaults,
+    simulate_mapping,
+    validate_against_analytical,
+)
+from repro.simulation.events import Event, EventQueue
+
+
+def single_replica_mapping(fail_rate=0.0, link_rate=0.0):
+    chain = TaskChain([4.0, 6.0], [2.0, 0.0])
+    plat = Platform(
+        speeds=[2.0, 1.0],
+        failure_rates=[fail_rate, fail_rate],
+        bandwidth=1.0,
+        link_failure_rate=link_rate,
+        max_replication=1,
+    )
+    return Mapping(chain, plat, [(Interval(0, 1), (0,)), (Interval(1, 2), (1,))])
+
+
+def replicated_mapping(fail_rate=0.05, link_rate=0.01, speeds=(2.0, 1.0, 3.0, 1.5)):
+    chain = TaskChain([4.0, 6.0], [2.0, 0.0])
+    plat = Platform(
+        speeds=list(speeds),
+        failure_rates=[fail_rate] * len(speeds),
+        bandwidth=1.0,
+        link_failure_rate=link_rate,
+        max_replication=2,
+    )
+    return Mapping(
+        chain, plat, [(Interval(0, 1), (0, 1)), (Interval(1, 2), (2, 3))]
+    )
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(Event(2.0, lambda: order.append("b")))
+        q.push(Event(1.0, lambda: order.append("a")))
+        q.pop().action()
+        q.pop().action()
+        assert order == ["a", "b"]
+
+    def test_priority_then_fifo(self):
+        q = EventQueue()
+        order = []
+        q.push(Event(1.0, lambda: order.append("low"), priority=1))
+        q.push(Event(1.0, lambda: order.append("hi"), priority=0))
+        q.push(Event(1.0, lambda: order.append("hi2"), priority=0))
+        for _ in range(3):
+            q.pop().action()
+        assert order == ["hi", "hi2", "low"]
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(Event(-1.0, lambda: None))
+
+    def test_empty_pop(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+        with pytest.raises(IndexError):
+            EventQueue().next_time
+
+
+class TestEngine:
+    def test_clock_advances(self):
+        eng = Engine()
+        seen = []
+        eng.schedule(5.0, lambda: seen.append(eng.now))
+        eng.schedule(1.0, lambda: seen.append(eng.now))
+        eng.run()
+        assert seen == [1.0, 5.0]
+        assert eng.processed == 2
+
+    def test_schedule_in_past_rejected(self):
+        eng = Engine()
+        eng.schedule(1.0, lambda: eng.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            eng.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Engine().schedule(-1.0, lambda: None)
+
+    def test_run_until(self):
+        eng = Engine()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            eng.schedule(t, lambda t=t: seen.append(t))
+        eng.run(until=2.0)
+        assert seen == [1.0, 2.0]
+
+    def test_event_budget(self):
+        eng = Engine()
+
+        def respawn():
+            eng.schedule(1.0, respawn)
+
+        eng.schedule(0.0, respawn)
+        with pytest.raises(RuntimeError, match="events"):
+            eng.run(max_events=10)
+
+
+class TestFaultInjectors:
+    def test_no_faults(self):
+        inj = NoFaults()
+        assert inj.operation_succeeds(1e9, 1e9)
+
+    def test_zero_rate_always_succeeds(self):
+        inj = BernoulliFaults(rng=0)
+        assert all(inj.operation_succeeds(0.0, 5.0) for _ in range(100))
+
+    def test_huge_rate_always_fails(self):
+        inj = BernoulliFaults(rng=0)
+        assert not any(inj.operation_succeeds(1e9, 1.0) for _ in range(100))
+
+    def test_invalid_args(self):
+        for inj in (BernoulliFaults(rng=0), PoissonFaults(rng=0)):
+            with pytest.raises(ValueError):
+                inj.operation_succeeds(-1.0, 1.0)
+            with pytest.raises(ValueError):
+                inj.operation_succeeds(1.0, -1.0)
+
+    def test_bernoulli_and_poisson_same_distribution(self):
+        """P(success) = exp(-rate * d) for both injectors (Shatz-Wang)."""
+        rate, d, n = 0.3, 2.0, 60_000
+        expect = math.exp(-rate * d)
+        for cls in (BernoulliFaults, PoissonFaults):
+            inj = cls(rng=42)
+            hits = sum(inj.operation_succeeds(rate, d) for _ in range(n))
+            assert hits / n == pytest.approx(expect, abs=0.01)
+
+
+class TestPipelineTiming:
+    def test_no_fault_latency_single_replicas(self):
+        """With single replicas and no faults, latency == WL exactly."""
+        mapping = single_replica_mapping()
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        run = sim.run(n_datasets=5, period=100.0)
+        ev = evaluate_mapping(mapping)
+        assert run.success_rate == 1.0
+        assert np.allclose(run.latencies, ev.worst_case_latency)
+
+    def test_no_fault_latency_replicated_uses_fastest(self):
+        """Routers forward the fastest replica: latency == EL as rates -> 0."""
+        mapping = replicated_mapping(fail_rate=0.0, link_rate=0.0)
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        run = sim.run(n_datasets=5, period=100.0)
+        ev = evaluate_mapping(mapping)
+        # EL at zero failure rates = sum over stages of W/s_fastest + comm.
+        assert np.allclose(run.latencies, ev.expected_latency)
+
+    def test_throughput_matches_injection_when_feasible(self):
+        mapping = single_replica_mapping()
+        ev = evaluate_mapping(mapping)
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        run = sim.run(n_datasets=60, period=ev.worst_case_period)
+        assert run.observed_period == pytest.approx(ev.worst_case_period, rel=1e-9)
+
+    def test_queueing_when_injected_too_fast(self):
+        """Injecting below the bottleneck period backs the pipeline up:
+        completions pace at the bottleneck, not the injection rate."""
+        mapping = single_replica_mapping()
+        ev = evaluate_mapping(mapping)
+        bottleneck = ev.worst_case_period  # = 6.0 (stage 2 on speed 1)
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        run = sim.run(n_datasets=80, period=bottleneck / 3)
+        assert run.observed_period == pytest.approx(bottleneck, rel=0.05)
+        # Later data sets queue: their latency grows.
+        lats = run.latencies
+        assert lats[-1] > lats[0] * 5
+
+    def test_physical_accounting_adds_second_hop(self):
+        mapping = single_replica_mapping()
+        analytical = PipelineSimulator(mapping, faults=NoFaults()).run(3, 100.0)
+        physical = PipelineSimulator(
+            mapping, faults=NoFaults(), accounting="physical"
+        ).run(3, 100.0)
+        # One interior boundary of size 2 at bandwidth 1: +2 per data set.
+        assert np.allclose(physical.latencies, analytical.latencies + 2.0)
+
+    def test_invalid_args(self):
+        mapping = single_replica_mapping()
+        sim = PipelineSimulator(mapping, faults=NoFaults())
+        with pytest.raises(ValueError):
+            sim.run(0, 1.0)
+        with pytest.raises(ValueError):
+            sim.run(1, 0.0)
+        with pytest.raises(ValueError):
+            PipelineSimulator(mapping, accounting="quantum")
+
+
+class TestPipelineReliability:
+    def test_hot_model_failures_are_per_dataset(self):
+        """A replica that fails data set d still serves d+1: with one
+        replica per stage and moderate rates, some data sets fail and
+        some later ones succeed."""
+        mapping = single_replica_mapping(fail_rate=0.08)
+        sim = PipelineSimulator(mapping, faults=BernoulliFaults(rng=3))
+        run = sim.run(n_datasets=300, period=50.0)
+        ok = run.completed
+        assert 0 < run.n_completed < 300
+        # Find a failure followed by a success.
+        idx = np.where(~ok[:-1] & ok[1:])[0]
+        assert idx.size > 0
+
+    def test_reliability_matches_eq9_single(self):
+        mapping = single_replica_mapping(fail_rate=0.05, link_rate=0.02)
+        summary = simulate_mapping(mapping, n_datasets=4000, rng=7, period=50.0)
+        assert summary.reliability_consistent
+
+    def test_reliability_matches_eq9_replicated(self):
+        mapping = replicated_mapping(fail_rate=0.1, link_rate=0.03)
+        summary = simulate_mapping(mapping, n_datasets=4000, rng=12, period=50.0)
+        assert summary.reliability_consistent
+
+    def test_stage_losses_accounting(self):
+        mapping = single_replica_mapping(fail_rate=0.1)
+        sim = PipelineSimulator(mapping, faults=BernoulliFaults(rng=5))
+        run = sim.run(n_datasets=500, period=50.0)
+        assert sum(run.stage_losses) == 500 - run.n_completed
+
+    def test_poisson_injector_consistent_too(self):
+        mapping = replicated_mapping(fail_rate=0.1, link_rate=0.0)
+        summary = simulate_mapping(
+            mapping, n_datasets=4000, faults=PoissonFaults(rng=13), period=50.0
+        )
+        assert summary.reliability_consistent
+
+    def test_faults_and_rng_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            simulate_mapping(
+                single_replica_mapping(), faults=NoFaults(), rng=1
+            )
+
+
+class TestValidation:
+    def test_validate_reliable_system(self):
+        mapping = replicated_mapping(fail_rate=1e-6, link_rate=1e-6)
+        report = validate_against_analytical(mapping, n_datasets=500, rng=2)
+        assert report["all_ok"], report
+
+    def test_validate_unreliable_system(self):
+        mapping = replicated_mapping(fail_rate=0.15, link_rate=0.05)
+        report = validate_against_analytical(mapping, n_datasets=4000, rng=4)
+        assert report["reliability_ok"], report
+
+    def test_report_fields(self):
+        mapping = single_replica_mapping()
+        report = validate_against_analytical(mapping, n_datasets=50, rng=0)
+        for key in (
+            "analytical_reliability",
+            "simulated_reliability",
+            "simulated_mean_latency",
+            "observed_period",
+            "all_ok",
+        ):
+            assert key in report
