@@ -17,6 +17,18 @@ Scale knobs (also documented in DESIGN.md):
   ``ilp`` (default, the paper's reference) or ``pareto-dp`` (same
   optima, faster).
 
+Execution knobs (the harness reads these itself; they change *how
+fast* a bench runs, never its numbers — parallel and cached runs are
+bit-identical to serial ones):
+
+* ``REPRO_JOBS`` — worker processes for the sweep fan-out (default 1 =
+  serial).  Note that with a warm cache or ``jobs > 1`` a "bench" times
+  the harness plumbing, not the solvers, so leave both off for solver
+  timing runs;
+* ``REPRO_CACHE_DIR`` — on-disk result cache directory shared across
+  runs (unset = no caching; see :mod:`repro.experiments.cache` for the
+  layout and the manifest written by ``python -m repro experiment``).
+
 Every bench prints the series it regenerates — the same rows the paper
 plots — and asserts the qualitative shape findings of Section 8.
 """

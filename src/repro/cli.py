@@ -14,6 +14,14 @@ Commands
 ``figures``
     Regenerate paper figures (thin wrapper over
     :mod:`repro.experiments.figures`).
+``experiment``
+    Run a registered sweep experiment through the parallel,
+    cache-backed harness: ``--jobs N`` fans work units out over worker
+    processes, ``--cache-dir DIR`` reuses previously solved units, and
+    a JSON **manifest** (``--manifest``, default
+    ``repro-manifest.json``) records the seed, grid, library versions,
+    elapsed time, and cache hit/miss counts of the run.  Environment
+    fallbacks: ``$REPRO_JOBS``, ``$REPRO_CACHE_DIR``.
 ``demo``
     Solve a seeded random instance end to end — no files needed.
 
@@ -86,6 +94,38 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--grid", choices=("reduced", "full"), default="reduced")
     figures.add_argument("--exact", choices=("ilp", "pareto-dp"), default="ilp")
     figures.add_argument("--seed", type=int, default=0)
+    figures.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default $REPRO_JOBS or 1)")
+    figures.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                         help="result cache directory (default $REPRO_CACHE_DIR)")
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="run a registered sweep through the parallel, cache-backed harness",
+    )
+    experiment.add_argument(
+        "experiments",
+        nargs="*",
+        default=["hom-period"],
+        help="experiment ids (e.g. hom-period het-latency) or 'all'; "
+        "default hom-period",
+    )
+    experiment.add_argument("--instances", type=int, default=None,
+                            help="instances per experiment (default $REPRO_INSTANCES or 20)")
+    experiment.add_argument("--grid", choices=("reduced", "full"), default=None,
+                            help="sweep resolution (default $REPRO_GRID or reduced)")
+    experiment.add_argument("--exact", choices=("ilp", "pareto-dp"), default="pareto-dp",
+                            help="exact method for hom experiments (default pareto-dp)")
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument("--jobs", type=int, default=None,
+                            help="worker processes (default $REPRO_JOBS or 1)")
+    experiment.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                            help="result cache directory (default $REPRO_CACHE_DIR)")
+    experiment.add_argument("--manifest", type=pathlib.Path,
+                            default=pathlib.Path("repro-manifest.json"),
+                            help="where to write the run manifest JSON")
+    experiment.add_argument("--quiet", action="store_true",
+                            help="suppress the figure tables, print only the manifest path")
 
     demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
     demo.add_argument("--tasks", type=int, default=10)
@@ -176,10 +216,89 @@ def _cmd_figures(args) -> int:
             grid=args.grid,
             seed=args.seed,
             exact_method=args.exact,
+            jobs=args.jobs,
+            cache=args.cache_dir,
         )
         for name in figs:
             print(render_figure(run_figure(name, experiment_result=exp)))
             print()
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    import platform as _platform
+    import time
+
+    import numpy as np
+
+    from repro.experiments.cache import resolve_cache
+    from repro.experiments.figures import EXPERIMENTS, run_experiment, run_figure
+    from repro.experiments.harness import resolve_jobs
+    from repro.experiments.report import render_figure
+
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for exp_id in wanted:
+        if exp_id not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    cache = resolve_cache(args.cache_dir)
+
+    manifest: dict = {
+        "command": "experiment",
+        "experiments": wanted,
+        "seed": args.seed,
+        "jobs": jobs,
+        "exact_method": args.exact,
+        "cache_dir": str(cache.root) if cache is not None else None,
+        "versions": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": _platform.python_version(),
+        },
+        "runs": [],
+    }
+    t0 = time.perf_counter()
+    for exp_id in wanted:
+        start = time.perf_counter()
+        exp = run_experiment(
+            exp_id,
+            n_instances=args.instances,
+            grid=args.grid,
+            seed=args.seed,
+            exact_method=args.exact,
+            jobs=jobs,
+            cache=cache,
+        )
+        elapsed = time.perf_counter() - start
+        spec = exp.spec
+        manifest["runs"].append(
+            {
+                "experiment": exp_id,
+                "n_instances": exp.n_instances,
+                "grid": exp.grid,
+                "figures": [spec.count_figure, spec.failure_figure],
+                "methods": sorted(
+                    {n for sweep in exp.sweeps.values() for n in sweep.method_names}
+                ),
+                "n_points": int(exp.xs.size),
+                "seconds": round(elapsed, 3),
+            }
+        )
+        if not args.quiet:
+            for fig in (spec.count_figure, spec.failure_figure):
+                print(render_figure(run_figure(fig, experiment_result=exp)))
+                print()
+    manifest["seconds"] = round(time.perf_counter() - t0, 3)
+    manifest["cache"] = cache.stats() if cache is not None else None
+    args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"wrote manifest {args.manifest}")
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses, {cache.puts} writes")
     return 0
 
 
@@ -218,6 +337,7 @@ COMMANDS = {
     "evaluate": _cmd_evaluate,
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
+    "experiment": _cmd_experiment,
     "demo": _cmd_demo,
 }
 

@@ -5,10 +5,14 @@ Everything needed to regenerate Figures 6-15:
 * :mod:`repro.experiments.instances` — the random instance suites with
   the paper's exact distributions (homogeneous, and heterogeneous/
   homogeneous counterpart pairs);
-* :mod:`repro.experiments.methods` — a uniform interface over the
-  compared methods (ILP, Heur-L, Heur-P, and our exact Pareto DP);
-* :mod:`repro.experiments.harness` — bound sweeps, solution counting,
-  and the paper's two failure-probability averaging rules;
+* :mod:`repro.experiments.methods` — a pluggable registry
+  (:func:`register_method`) over the compared methods (ILP, Heur-L,
+  Heur-P, our exact Pareto DP, annealing) with capability metadata;
+* :mod:`repro.experiments.harness` — parallel, cache-backed bound
+  sweeps, solution counting, and the paper's two failure-probability
+  averaging rules;
+* :mod:`repro.experiments.cache` — the content-addressed on-disk
+  result cache shared by figures, benches, and the CLI;
 * :mod:`repro.experiments.figures` — one configuration per figure and
   the runners that produce its series;
 * :mod:`repro.experiments.report` — ASCII rendering and JSON dumps.
@@ -20,7 +24,14 @@ from repro.experiments.instances import (
     homogeneous_suite,
     heterogeneous_suite,
 )
-from repro.experiments.methods import METHODS, Method, get_method
+from repro.experiments.methods import (
+    METHODS,
+    Method,
+    UnknownMethodError,
+    get_method,
+    register_method,
+)
+from repro.experiments.cache import ResultCache
 from repro.experiments.harness import SweepResult, run_sweep
 from repro.experiments.figures import (
     EXPERIMENTS,
@@ -38,7 +49,10 @@ __all__ = [
     "heterogeneous_suite",
     "METHODS",
     "Method",
+    "UnknownMethodError",
     "get_method",
+    "register_method",
+    "ResultCache",
     "SweepResult",
     "run_sweep",
     "EXPERIMENTS",

@@ -1,0 +1,206 @@
+"""On-disk result cache for bound sweeps.
+
+The paper's evaluation recomputes the same ``method x instance x
+bounds`` solves for every figure, bench, and cross-check run.  This
+module gives them a shared, content-addressed store so a sweep computed
+once is free forever after.
+
+Layout
+------
+One JSON file per *work unit* — one method run on one instance over a
+full bounds list::
+
+    <cache_dir>/<key[:2]>/<key>.json
+
+where ``key = sha256(method name, chain, platform, bounds, seed,
+package version)`` via :func:`repro.io.content_hash` — stable across
+process restarts, and automatically invalidated when any ingredient
+(chain, platform, bounds, method identity, per-unit seed, repro
+release) changes, because a different key simply never matches.  Each
+entry holds::
+
+    {"repro_cache": 1, "method": ..., "n_points": ...,
+     "solved": [...bools...], "failure": [...floats...]}
+
+Corrupted or truncated entries (interrupted writes, disk faults) are
+treated as misses and deleted, so recovery is automatic: the unit is
+recomputed and rewritten.  Writes go through a temp file + ``os.replace``
+so concurrent runs sharing a cache directory never observe a partial
+entry.
+
+Environment
+-----------
+``REPRO_CACHE_DIR``
+    Default cache directory for the harness/figures/benches when no
+    explicit ``cache`` argument is given.  Unset means "no cache".
+
+Statistics (:attr:`ResultCache.hits` / ``misses`` / ``puts``) feed the
+run manifest written by ``python -m repro experiment``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import tempfile
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.chain import TaskChain
+from repro.core.platform import Platform
+from repro.io import content_hash, to_dict
+
+__all__ = ["CACHE_FORMAT", "ResultCache", "resolve_cache"]
+
+CACHE_FORMAT = 1
+
+
+def _bound_token(value: float) -> "float | str":
+    """JSON-safe key token for a bound: finite floats pass through,
+    non-finite ones (an unbounded period is ``inf``) become strings so
+    canonical JSON (``allow_nan=False``) accepts them."""
+    value = float(value)
+    return value if math.isfinite(value) else repr(value)
+
+
+class ResultCache:
+    """Content-addressed store of per-unit sweep results.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+
+    Attributes
+    ----------
+    hits, misses, puts:
+        Lookup/store counters since construction — the "zero solves on a
+        warm cache" acceptance check reads these.
+    """
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = pathlib.Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def unit_key(
+        self,
+        method_name: str,
+        chain: TaskChain,
+        platform: Platform,
+        bounds: Sequence[tuple[float, float]],
+        seed: "int | None" = None,
+        fingerprint: "str | None" = None,
+    ) -> str:
+        """Content hash identifying one work unit's result.
+
+        The package version and the method's implementation
+        *fingerprint* (:meth:`Method.fingerprint`) are part of the
+        key, so neither a solver fix in a new release nor an edited or
+        re-registered method ever replays stale arrays from a shared
+        cache directory.
+        """
+        from repro import __version__
+
+        return content_hash(
+            {
+                "repro_cache": CACHE_FORMAT,
+                "repro_version": __version__,
+                "method": method_name,
+                "fingerprint": fingerprint,
+                "seed": seed,
+            },
+            to_dict(chain),
+            to_dict(platform),
+            [[_bound_token(P), _bound_token(L)] for P, L in bounds],
+        )
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- lookup / store --------------------------------------------------
+
+    def get(self, key: str, n_points: int) -> "tuple[np.ndarray, np.ndarray] | None":
+        """Return ``(solved, failure)`` arrays, or None on miss.
+
+        A malformed entry (bad JSON, wrong version, wrong length) counts
+        as a miss and is deleted so the recomputed unit overwrites it.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload["repro_cache"] != CACHE_FORMAT:
+                raise ValueError("cache format mismatch")
+            solved = np.asarray(payload["solved"], dtype=bool)
+            failure = np.asarray(payload["failure"], dtype=float)
+            if solved.shape != (n_points,) or failure.shape != (n_points,):
+                raise ValueError("cache entry shape mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            # Corrupted entry: recover by dropping it and recomputing.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return solved, failure
+
+    def put(self, key: str, solved: np.ndarray, failure: np.ndarray, method_name: str = "") -> None:
+        """Store one unit's arrays atomically (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "repro_cache": CACHE_FORMAT,
+            "method": method_name,
+            "n_points": int(len(solved)),
+            "solved": [bool(s) for s in solved],
+            "failure": [float(f) for f in failure],
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.puts += 1
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def stats(self) -> dict:
+        """Counter snapshot for manifests and logs."""
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+
+
+def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None") -> "ResultCache | None":
+    """Normalize a harness ``cache`` argument.
+
+    ``None`` falls back to ``$REPRO_CACHE_DIR`` (no cache when unset); a
+    path becomes a :class:`ResultCache`; an existing cache passes
+    through (so callers can share one counter across sweeps).
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is None:
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if not env:
+            return None
+        cache = env
+    return ResultCache(cache)

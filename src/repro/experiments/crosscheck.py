@@ -13,12 +13,21 @@ produces a machine-checkable report, so a regression anywhere in the
 stack shows up as a disagreement count.  It doubles as a benchmark
 target (`benchmarks/bench_crosscheck.py`) and as the recommended smoke
 test after modifying any numerical code.
+
+Each instance's check is independent and fully determined by one
+integer seed (drawn via :func:`repro.util.rng.spawn_seeds`), so the
+population fans out over a process pool: ``jobs > 1`` (or
+``$REPRO_JOBS``) runs instances concurrently and merges per-instance
+records in instance order — the report is identical to the serial one.
 """
 
 from __future__ import annotations
 
 import math
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.algorithms import (
     brute_force_best,
@@ -36,7 +45,7 @@ from repro.rbd import (
     series_parallel_log_reliability,
 )
 from repro.simulation import simulate_mapping
-from repro.util.rng import ensure_rng, spawn
+from repro.util.rng import ensure_rng, spawn_seeds
 
 __all__ = ["CrosscheckReport", "run_crosscheck"]
 
@@ -83,82 +92,125 @@ def _close(a: float, b: float) -> bool:
     return abs(a - b) <= EXACT_RTOL * max(abs(a), abs(b), 1e-300)
 
 
+def _check_instance(seed: int, n_tasks: int, p: int, simulate: bool) -> dict:
+    """Run the full validation chain on one seeded instance.
+
+    Module-level and driven by a plain integer seed so it can run in a
+    worker process; returns a flat record the parent merges into the
+    :class:`CrosscheckReport` in instance order.
+    """
+    rng = np.random.default_rng(seed)
+    record = {
+        "solver_disagreement": False,
+        "heuristic_violation": False,
+        "rbd_disagreement": False,
+        "simulation_outlier": False,
+        "details": [],
+    }
+    chain = random_chain(n_tasks, rng)
+    K = int(rng.integers(1, 4))
+    platform = Platform.homogeneous_platform(
+        p,
+        failure_rate=10.0 ** -float(rng.uniform(2, 8)),
+        link_failure_rate=10.0 ** -float(rng.uniform(2, 5)),
+        max_replication=K,
+    )
+    P = float(rng.uniform(40, 400))
+    L = float(rng.uniform(150, 900))
+
+    # --- exact solver agreement ---------------------------------
+    bf = brute_force_best(chain, platform, max_period=P, max_latency=L)
+    pd = pareto_dp_best(chain, platform, max_period=P, max_latency=L)
+    hi = ilp_best(chain, platform, max_period=P, max_latency=L)
+    bb = ilp_best(
+        chain, platform, max_period=P, max_latency=L, backend="branch-bound"
+    )
+    values = [bf, pd, hi, bb]
+    if len({v.feasible for v in values}) != 1 or (
+        bf.feasible
+        and not all(
+            _close(v.log_reliability, bf.log_reliability) for v in values
+        )
+    ):
+        record["solver_disagreement"] = True
+        record["details"].append(
+            f"solvers disagree: {[v.log_reliability for v in values]}"
+        )
+        return record
+
+    # --- heuristic sanity -----------------------------------------
+    heur = heuristic_best(chain, platform, max_period=P, max_latency=L)
+    if heur.feasible and (
+        not bf.feasible or heur.log_reliability > bf.log_reliability + 1e-12
+    ):
+        record["heuristic_violation"] = True
+        record["details"].append("heuristic beat the optimum or bounds")
+
+    if not bf.feasible:
+        return record
+    mapping = bf.mapping
+    assert mapping is not None
+
+    # --- RBD representations -------------------------------------
+    want = mapping_log_reliability(mapping)
+    rbd = rbd_with_routing(mapping)
+    candidates = [
+        series_parallel_log_reliability(rbd),
+        exact_log_reliability_factoring(rbd),
+    ]
+    if rbd.n_blocks <= 20:
+        candidates.append(exact_log_reliability_enumeration(rbd))
+    if not all(_close(c, want) for c in candidates):
+        record["rbd_disagreement"] = True
+        record["details"].append(f"RBD evaluators disagree: {candidates} vs {want}")
+
+    # --- simulation ------------------------------------------------
+    if simulate:
+        summary = simulate_mapping(mapping, n_datasets=1500, rng=rng)
+        if not summary.reliability_consistent:
+            record["simulation_outlier"] = True
+    return record
+
+
 def run_crosscheck(
     n_instances: int = 10,
     seed: int = 0,
     n_tasks: int = 5,
     p: int = 4,
     simulate: bool = True,
+    jobs: "int | None" = None,
 ) -> CrosscheckReport:
     """Run the full validation chain over a random instance population.
 
     Instance sizes default to brute-force-friendly values; every exact
-    method runs on every instance at randomized (P, L) bounds.
+    method runs on every instance at randomized (P, L) bounds.  With
+    ``jobs > 1`` (or ``$REPRO_JOBS``) instances run in worker
+    processes; the report is identical to a serial run.
     """
+    from repro.experiments.harness import resolve_jobs
+
+    jobs = resolve_jobs(jobs)
     master = ensure_rng(seed)
+    seeds = spawn_seeds(master, n_instances)
+    if jobs == 1 or n_instances <= 1:
+        records = [_check_instance(s, n_tasks, p, simulate) for s in seeds]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, n_instances)) as pool:
+            records = list(
+                pool.map(
+                    _check_instance,
+                    seeds,
+                    [n_tasks] * n_instances,
+                    [p] * n_instances,
+                    [simulate] * n_instances,
+                )
+            )
     report = CrosscheckReport()
-    for rng in spawn(master, n_instances):
+    for record in records:
         report.instances += 1
-        chain = random_chain(n_tasks, rng)
-        K = int(rng.integers(1, 4))
-        platform = Platform.homogeneous_platform(
-            p,
-            failure_rate=10.0 ** -float(rng.uniform(2, 8)),
-            link_failure_rate=10.0 ** -float(rng.uniform(2, 5)),
-            max_replication=K,
-        )
-        P = float(rng.uniform(40, 400))
-        L = float(rng.uniform(150, 900))
-
-        # --- exact solver agreement ---------------------------------
-        bf = brute_force_best(chain, platform, max_period=P, max_latency=L)
-        pd = pareto_dp_best(chain, platform, max_period=P, max_latency=L)
-        hi = ilp_best(chain, platform, max_period=P, max_latency=L)
-        bb = ilp_best(
-            chain, platform, max_period=P, max_latency=L, backend="branch-bound"
-        )
-        values = [bf, pd, hi, bb]
-        if len({v.feasible for v in values}) != 1 or (
-            bf.feasible
-            and not all(
-                _close(v.log_reliability, bf.log_reliability) for v in values
-            )
-        ):
-            report.solver_disagreements += 1
-            report.details.append(
-                f"solvers disagree: {[v.log_reliability for v in values]}"
-            )
-            continue
-
-        # --- heuristic sanity -----------------------------------------
-        heur = heuristic_best(chain, platform, max_period=P, max_latency=L)
-        if heur.feasible and (
-            not bf.feasible or heur.log_reliability > bf.log_reliability + 1e-12
-        ):
-            report.heuristic_violations += 1
-            report.details.append("heuristic beat the optimum or bounds")
-
-        if not bf.feasible:
-            continue
-        mapping = bf.mapping
-        assert mapping is not None
-
-        # --- RBD representations -------------------------------------
-        want = mapping_log_reliability(mapping)
-        rbd = rbd_with_routing(mapping)
-        candidates = [
-            series_parallel_log_reliability(rbd),
-            exact_log_reliability_factoring(rbd),
-        ]
-        if rbd.n_blocks <= 20:
-            candidates.append(exact_log_reliability_enumeration(rbd))
-        if not all(_close(c, want) for c in candidates):
-            report.rbd_disagreements += 1
-            report.details.append(f"RBD evaluators disagree: {candidates} vs {want}")
-
-        # --- simulation ------------------------------------------------
-        if simulate:
-            summary = simulate_mapping(mapping, n_datasets=1500, rng=rng)
-            if not summary.reliability_consistent:
-                report.simulation_outliers += 1
+        report.solver_disagreements += record["solver_disagreement"]
+        report.heuristic_violations += record["heuristic_violation"]
+        report.rbd_disagreements += record["rbd_disagreement"]
+        report.simulation_outliers += record["simulation_outlier"]
+        report.details.extend(record["details"])
     return report

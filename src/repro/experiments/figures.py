@@ -18,7 +18,11 @@ Grid sizes: ``grid="reduced"`` (default; minutes on a laptop) or
 ``grid="full"`` (the paper's resolution).  Instance counts default to 20
 (reduced) / 100 (full = the paper's count).  Environment overrides
 ``REPRO_INSTANCES`` and ``REPRO_GRID`` apply when parameters are left
-``None`` — convenient for the benchmark suite.
+``None`` — convenient for the benchmark suite.  The sweep execution
+knobs are inherited from :mod:`repro.experiments.harness`:
+``jobs``/``$REPRO_JOBS`` fans units out over worker processes and
+``cache``/``$REPRO_CACHE_DIR`` makes repeated runs (sibling figures,
+benches, the CLI) reuse solved units instead of recomputing them.
 """
 
 from __future__ import annotations
@@ -167,6 +171,8 @@ def run_experiment(
     grid: str | None = None,
     seed: int = 0,
     exact_method: str = "ilp",
+    jobs: int | None = None,
+    cache=None,
 ) -> ExperimentResult:
     """Run one paired-figure experiment and return its raw sweeps.
 
@@ -175,6 +181,12 @@ def run_experiment(
     exact_method:
         ``"ilp"`` (the paper's reference) or ``"pareto-dp"`` (same
         optima, faster) — used only by the homogeneous experiments.
+    jobs:
+        Worker processes for the sweep fan-out (``None`` reads
+        ``$REPRO_JOBS``; results are identical for any value).
+    cache:
+        Result cache (a :class:`~repro.experiments.cache.ResultCache`
+        or directory path; ``None`` reads ``$REPRO_CACHE_DIR``).
     """
     if experiment not in EXPERIMENTS:
         raise ValueError(
@@ -190,7 +202,7 @@ def run_experiment(
     if spec.kind == "hom":
         instances = homogeneous_suite(n_instances=n_instances, seed=seed)
         methods = [get_method(exact_method), get_method("heur-l"), get_method("heur-p")]
-        sweeps["hom"] = run_sweep(instances, methods, bounds, xs=xs)
+        sweeps["hom"] = run_sweep(instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
     else:
         pairs = heterogeneous_suite(n_instances=n_instances, seed=seed)
         # The "-paper" variants select best reliability before checking
@@ -199,8 +211,8 @@ def run_experiment(
         methods = [get_method("heur-l-paper"), get_method("heur-p-paper")]
         het_instances = [(p.chain, p.het_platform) for p in pairs]
         hom_instances = [(p.chain, p.hom_platform) for p in pairs]
-        sweeps["het"] = run_sweep(het_instances, methods, bounds, xs=xs)
-        sweeps["hom"] = run_sweep(hom_instances, methods, bounds, xs=xs)
+        sweeps["het"] = run_sweep(het_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
+        sweeps["hom"] = run_sweep(hom_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
     return ExperimentResult(
         spec=spec,
         xs=xs,
@@ -218,6 +230,8 @@ def run_figure(
     seed: int = 0,
     exact_method: str = "ilp",
     experiment_result: ExperimentResult | None = None,
+    jobs: int | None = None,
+    cache=None,
 ) -> FigureResult:
     """Produce one figure's series (running its experiment if needed).
 
@@ -234,6 +248,8 @@ def run_figure(
             grid=grid,
             seed=seed,
             exact_method=exact_method,
+            jobs=jobs,
+            cache=cache,
         )
     elif experiment_result.spec.id != exp_id:
         raise ValueError(

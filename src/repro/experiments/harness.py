@@ -1,4 +1,4 @@
-"""Bound-sweep runner: solution counts and averaged failure probabilities.
+"""Bound-sweep runner: parallel, cache-backed, deterministic.
 
 For a suite of instances and a list of sweep points ``(P, L)``, run each
 method on each instance at each point and aggregate the two statistics
@@ -17,10 +17,42 @@ the paper plots:
   - ``"per-method"`` (Figures 13, 15): each curve averages over the
     instances *it* solved ("the average values are then not computed on
     the same set of instances", Section 8.2).
+
+Execution model
+---------------
+The sweep decomposes into independent **work units** — one registered
+method run on one instance across the whole bounds list.  Units are
+
+* **cached**: each unit's ``(solved, failure)`` arrays are stored under
+  a content hash of the method name, chain, platform, bounds, and
+  per-unit seed (:mod:`repro.experiments.cache`), so figures, benches,
+  and cross-checks share work instead of recomputing;
+* **parallel**: with ``jobs > 1``, uncached units fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive the
+  method *name* plus JSON payloads of the instance (closures do not
+  pickle; registry names do), and results land back by unit index — so
+  parallel output is **bit-identical** to the serial path.  Expensive
+  units (by :attr:`Method.cost_hint`) are submitted first so they do
+  not straggle at the tail of the pool queue;
+* **seeded**: stochastic methods (``Method.seeded``) get a
+  deterministic per-unit seed via :func:`repro.util.rng.stable_seed`,
+  derived from the unit's content — identical whether the unit runs
+  serially, in a worker, or is replayed from cache.
+
+Environment
+-----------
+``REPRO_JOBS``
+    Default worker count when ``jobs`` is ``None`` (default 1 =
+    serial).
+``REPRO_CACHE_DIR``
+    Default cache directory when ``cache`` is ``None`` (unset = no
+    caching).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -28,9 +60,12 @@ import numpy as np
 
 from repro.core.chain import TaskChain
 from repro.core.platform import Platform
-from repro.experiments.methods import Method
+from repro.experiments.cache import ResultCache, resolve_cache
+from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
+from repro.io import content_hash, from_dict, to_dict
+from repro.util.rng import stable_seed
 
-__all__ = ["SweepResult", "run_sweep"]
+__all__ = ["SweepResult", "run_sweep", "resolve_jobs"]
 
 
 @dataclass
@@ -91,9 +126,88 @@ class SweepResult:
         try:
             return self.method_names.index(method)
         except ValueError:
-            raise ValueError(
-                f"method {method!r} not in sweep ({self.method_names})"
+            raise UnknownMethodError(
+                f"method {method!r} not in sweep; curves available: "
+                f"{self.method_names}"
             ) from None
+
+
+def resolve_jobs(jobs: "int | None") -> int:
+    """Normalize a ``jobs`` argument: ``None`` -> ``$REPRO_JOBS`` -> 1."""
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_JOBS", "1") or "1")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _unit_arrays(
+    method: Method,
+    chain: TaskChain,
+    platform: Platform,
+    bounds: Sequence[tuple[float, float]],
+    seed: "int | None",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one work unit: one method on one instance over all bounds.
+
+    The single computation shared verbatim by the serial path and the
+    worker processes — the reason ``jobs=1`` and ``jobs=N`` agree bit
+    for bit.
+    """
+    solved = np.zeros(len(bounds), dtype=bool)
+    failure = np.ones(len(bounds), dtype=float)
+    for pi, (P, L) in enumerate(bounds):
+        if method.seeded:
+            res = method.solve(chain, platform, P, L, seed=stable_seed(seed, pi))
+        else:
+            res = method.solve(chain, platform, P, L)
+        solved[pi] = res.feasible
+        if res.feasible:
+            failure[pi] = res.evaluation.failure_probability
+    return solved, failure
+
+
+def _solve_unit_payload(
+    method_name: str,
+    fingerprint: str,
+    chain_payload: dict,
+    platform_payload: dict,
+    bounds: Sequence[tuple[float, float]],
+    seed: "int | None",
+) -> tuple[list[bool], list[float]]:
+    """Worker-side entry point: rebuild the unit from JSON payloads.
+
+    Module-level (picklable) and name-addressed: the worker resolves the
+    method from its own registry, so no closure ever crosses the process
+    boundary.  The fingerprint handshake guards spawn-start workers: if
+    this process's registry binds *method_name* to different code than
+    the parent's (a missing or differently re-registered method), raise
+    UnknownMethodError so the parent recomputes the unit itself instead
+    of silently using the wrong solver.
+    """
+    method = get_method(method_name)
+    if method.fingerprint() != fingerprint:
+        raise UnknownMethodError(
+            f"method {method_name!r} resolves to different code in this "
+            f"worker than in the parent process"
+        )
+    chain = from_dict(chain_payload)
+    platform = from_dict(platform_payload)
+    solved, failure = _unit_arrays(method, chain, platform, bounds, seed)
+    return [bool(s) for s in solved], [float(f) for f in failure]
+
+
+def _unit_seed(method: Method, chain: TaskChain, platform: Platform,
+               bounds: Sequence[tuple[float, float]]) -> "int | None":
+    """Deterministic per-unit seed for stochastic methods (else None)."""
+    if not method.seeded:
+        return None
+    return stable_seed(
+        "sweep-unit",
+        method.name,
+        content_hash(chain, platform),
+        tuple((float(P), float(L)) for P, L in bounds),
+    )
 
 
 def run_sweep(
@@ -101,6 +215,9 @@ def run_sweep(
     methods: Sequence[Method],
     bounds: Sequence[tuple[float, float]],
     xs: Sequence[float] | None = None,
+    *,
+    jobs: "int | None" = None,
+    cache: "ResultCache | str | os.PathLike[str] | None" = None,
 ) -> SweepResult:
     """Run every method on every instance at every bound point.
 
@@ -116,18 +233,22 @@ def run_sweep(
     xs:
         Plot coordinates for the sweep points (defaults to the varying
         bound, detected automatically; falls back to the point index).
+    jobs:
+        Worker processes for the fan-out; ``None`` reads
+        ``$REPRO_JOBS`` (default 1 = serial).  Results are identical
+        for any value.
+    cache:
+        A :class:`~repro.experiments.cache.ResultCache`, a cache
+        directory path, or ``None`` to read ``$REPRO_CACHE_DIR`` (unset
+        = no caching).
     """
     if not instances:
         raise ValueError("need at least one instance")
     if not bounds:
         raise ValueError("need at least one sweep point")
     for method in methods:
-        if method.homogeneous_only:
-            for _, platform in instances:
-                if not platform.homogeneous:
-                    raise ValueError(
-                        f"method {method.name!r} requires homogeneous platforms"
-                    )
+        for _, platform in instances:
+            method.check_platform(platform)
 
     if xs is None:
         periods = {p for p, _ in bounds}
@@ -141,16 +262,104 @@ def run_sweep(
             raise ValueError("xs must align with bounds")
         xs_arr = np.asarray(xs, dtype=float)
 
+    jobs = resolve_jobs(jobs)
+    store = resolve_cache(cache)
+    bounds = [(float(P), float(L)) for P, L in bounds]
+
+    def registered(method: Method) -> bool:
+        # Registry-resolved methods are the ones addressable by name:
+        # they may be cached (keyed by name + implementation
+        # fingerprint) and shipped to worker processes.  Ad-hoc Method
+        # objects run in the parent, uncached.
+        return METHODS.get(method.name) is method
+
+    fingerprints = {m.name: m.fingerprint() for m in methods if registered(m)}
+
     n_m, n_pts, n_inst = len(methods), len(bounds), len(instances)
     solved = np.zeros((n_m, n_pts, n_inst), dtype=bool)
     failure = np.ones((n_m, n_pts, n_inst), dtype=float)
+
+    # Resolve cached units first; everything else becomes pending work.
+    pending: list[tuple[int, int, "int | None", "str | None"]] = []
     for mi, method in enumerate(methods):
-        for pi, (P, L) in enumerate(bounds):
-            for ii, (chain, platform) in enumerate(instances):
-                res = method.solve(chain, platform, P, L)
-                solved[mi, pi, ii] = res.feasible
-                if res.feasible:
-                    failure[mi, pi, ii] = res.evaluation.failure_probability
+        for ii, (chain, platform) in enumerate(instances):
+            seed = _unit_seed(method, chain, platform, bounds)
+            key = None
+            if store is not None and registered(method):
+                key = store.unit_key(
+                    method.name, chain, platform, bounds, seed,
+                    fingerprint=fingerprints[method.name],
+                )
+                hit = store.get(key, n_pts)
+                if hit is not None:
+                    solved[mi, :, ii], failure[mi, :, ii] = hit
+                    continue
+            pending.append((mi, ii, seed, key))
+
+    def finish(mi: int, ii: int, key: "str | None",
+               unit_solved: np.ndarray, unit_failure: np.ndarray) -> None:
+        solved[mi, :, ii] = unit_solved
+        failure[mi, :, ii] = unit_failure
+        if store is not None and key is not None:
+            store.put(key, unit_solved, unit_failure, method_name=methods[mi].name)
+
+    # Expensive methods first: with a shared pool, a 10x-cost ILP unit
+    # submitted last would serialize the tail of the run.
+    pending.sort(key=lambda u: (-methods[u[0]].cost_hint, u[0], u[1]))
+
+    # Only registry-resolvable methods can be addressed by name in a
+    # worker; ad-hoc Method objects fall back to the parent process.
+    if jobs > 1 and len(pending) > 1:
+        remote = [u for u in pending if registered(methods[u[0]])]
+    else:
+        remote = []
+    remote_set = set(remote)
+    local = [u for u in pending if u not in remote_set]
+
+    if not remote:
+        for mi, ii, seed, key in local:
+            chain, platform = instances[ii]
+            finish(mi, ii, key, *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(remote))) as pool:
+            futures = {}
+            for mi, ii, seed, key in remote:
+                chain, platform = instances[ii]
+                fut = pool.submit(
+                    _solve_unit_payload,
+                    methods[mi].name,
+                    fingerprints[methods[mi].name],
+                    to_dict(chain),
+                    to_dict(platform),
+                    bounds,
+                    seed,
+                )
+                futures[fut] = (mi, ii, seed, key)
+            # The parent works through its own (unpicklable) units while
+            # the pool churns, then drains the futures.
+            for mi, ii, seed, key in local:
+                chain, platform = instances[ii]
+                finish(mi, ii, key, *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    mi, ii, seed, key = futures[fut]
+                    try:
+                        unit_solved, unit_failure = fut.result()
+                    except UnknownMethodError:
+                        # Spawn-start workers re-import the registry and
+                        # may miss (or re-bind) methods registered at
+                        # runtime; redo the unit here rather than fail
+                        # the sweep or run the wrong code.
+                        chain, platform = instances[ii]
+                        finish(mi, ii, key,
+                               *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+                        continue
+                    finish(mi, ii, key,
+                           np.asarray(unit_solved, dtype=bool),
+                           np.asarray(unit_failure, dtype=float))
+
     return SweepResult(
         xs=xs_arr,
         method_names=[m.name for m in methods],

@@ -1,7 +1,13 @@
-"""Uniform method interface for the experiment harness.
+"""Method registry: a uniform, extensible interface for the harness.
 
 A :class:`Method` maps ``(chain, platform, max_period, max_latency)`` to
-a :class:`~repro.algorithms.result.SolveResult`.  Registered methods:
+a :class:`~repro.algorithms.result.SolveResult`.  Methods live in a
+process-wide registry so the sweep runner, the cache, and the CLI can
+all refer to them *by name* — which is also what lets the parallel
+harness ship work units to worker processes as plain strings instead of
+unpicklable closures.
+
+Built-in methods:
 
 * ``"ilp"`` — the Section 5.4 integer program (exact, homogeneous only);
   the paper's yardstick in Figures 6-11.
@@ -9,10 +15,28 @@ a :class:`~repro.algorithms.result.SolveResult`.  Registered methods:
   same optima as ``"ilp"``, several times faster — handy for full-scale
   regeneration.
 * ``"heur-l"`` / ``"heur-p"`` — the Section 7 heuristics (any platform).
+* ``"heur-l-paper"`` / ``"heur-p-paper"`` — the paper's heterogeneous
+  reading of Section 7 (see the inline note below).
+* ``"anneal"`` — the simulated-annealing extension; *stochastic*, so the
+  harness hands it a deterministic per-unit seed (see
+  :func:`repro.util.rng.stable_seed`).
+
+Extending the registry::
+
+    @register_method("my-method", exact=False, cost_hint=2.0)
+    def _my_solve(chain, platform, P, L):
+        return ...  # a SolveResult
+
+Capability metadata drives both validation (``homogeneous_only`` methods
+refuse heterogeneous platforms up front) and scheduling: the parallel
+harness submits high-``cost_hint`` units first so expensive solves do
+not straggle at the end of the pool queue.
 """
 
 from __future__ import annotations
 
+import hashlib
+import types
 from dataclasses import dataclass
 from typing import Callable
 
@@ -21,23 +45,192 @@ from repro.algorithms.result import SolveResult
 from repro.core.chain import TaskChain
 from repro.core.platform import Platform
 
-__all__ = ["Method", "METHODS", "get_method"]
+__all__ = [
+    "Method",
+    "METHODS",
+    "UnknownMethodError",
+    "get_method",
+    "register_method",
+]
+
+
+class UnknownMethodError(KeyError, ValueError):
+    """Raised when a method name is not in the registry (or a sweep).
+
+    Subclasses both :class:`KeyError` (the registry is a mapping) and
+    :class:`ValueError` (historical behaviour), so callers catching
+    either keep working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
 
 
 @dataclass(frozen=True)
 class Method:
-    """A named mapping-search method usable in bound sweeps."""
+    """A named mapping-search method usable in bound sweeps.
+
+    Attributes
+    ----------
+    name:
+        Registry key and curve label.
+    solve:
+        ``(chain, platform, max_period, max_latency) -> SolveResult``.
+        Stochastic methods additionally accept a ``seed`` keyword.
+    exact:
+        True for provably optimal solvers, False for heuristics.
+    homogeneous_only:
+        True when the method's theory only covers homogeneous platforms
+        (the Section 5 algorithms); such methods refuse heterogeneous
+        platforms with a clear error (:meth:`check_platform`).
+    cost_hint:
+        Relative cost of one solve (heuristics ~1).  The parallel
+        harness schedules expensive units first to balance the pool.
+    seeded:
+        True when ``solve`` is stochastic and takes a ``seed`` keyword;
+        the harness derives a deterministic per-unit seed so parallel
+        and serial runs stay bit-identical.
+    """
 
     name: str
     solve: Callable[[TaskChain, Platform, float, float], SolveResult]
     exact: bool
     homogeneous_only: bool
+    cost_hint: float = 1.0
+    seeded: bool = False
+
+    def check_platform(self, platform: Platform) -> None:
+        """Raise a descriptive error if *platform* is out of scope."""
+        if self.homogeneous_only and not platform.homogeneous:
+            raise ValueError(
+                f"method {self.name!r} requires homogeneous platforms "
+                f"(it implements a Section 5 algorithm); got a "
+                f"heterogeneous platform with {platform.p} processors. "
+                f"Use a heuristic method (e.g. 'heur-l', 'heur-p') instead."
+            )
+
+    def fingerprint(self) -> str:
+        """Implementation fingerprint of the solve callable.
+
+        A registry *name* does not identify an implementation: a user
+        can re-register a name, or edit a registered function between
+        runs.  The harness therefore pairs the name with this digest —
+        bytecode plus constants plus closure-cell values — in cache
+        keys (so edited code never replays stale arrays) and in the
+        worker handshake (so a spawn-started worker that resolves the
+        name to *different* code refuses the unit instead of silently
+        running the wrong solver).
+
+        Only stable values are hashed: bytecode, nested functions, and
+        captured primitives.  Mutable captured objects (a stats dict, a
+        logger) reduce to their type name — their runtime *state* is
+        not part of the implementation, and hashing it would churn the
+        key on every call.
+        """
+        digest = hashlib.sha256()
+        _PRIMITIVES = (str, bytes, int, float, complex, bool, type(None))
+
+        def visit(obj) -> None:
+            if isinstance(obj, types.CodeType):
+                digest.update(obj.co_code)
+                for const in obj.co_consts:
+                    visit(const)
+            elif isinstance(obj, types.FunctionType):
+                visit(obj.__code__)
+                for cell in obj.__closure__ or ():
+                    try:
+                        visit(cell.cell_contents)
+                    except ValueError:  # empty cell
+                        pass
+            elif isinstance(obj, _PRIMITIVES):
+                digest.update(repr(obj).encode())
+            elif isinstance(obj, (tuple, frozenset)):
+                for item in obj:
+                    visit(item)
+            else:
+                digest.update(f"<{type(obj).__qualname__}>".encode())
+            digest.update(b"\x1f")
+
+        visit(self.solve)
+        return digest.hexdigest()
+
+    def __call__(self, chain, platform, P, L, **kwargs) -> SolveResult:
+        return self.solve(chain, platform, P, L, **kwargs)
 
 
+#: The process-wide registry (name -> Method).  Mutate only through
+#: :func:`register_method`.
+METHODS: dict[str, Method] = {}
+
+
+def register_method(
+    name: str,
+    *,
+    exact: bool = False,
+    homogeneous_only: bool = False,
+    cost_hint: float = 1.0,
+    seeded: bool = False,
+    replace: bool = False,
+) -> Callable[[Callable], Method]:
+    """Decorator registering a solve callable as a named :class:`Method`.
+
+    Duplicate names are rejected (``ValueError``) unless
+    ``replace=True`` — re-registering silently would let one experiment
+    corrupt another's curves and cache keys.  Returns the
+    :class:`Method` record, so the decorated name is the method object
+    itself (its ``solve`` attribute holds the original callable).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"method name must be a non-empty string, got {name!r}")
+
+    def deco(fn: Callable) -> Method:
+        if name in METHODS and not replace:
+            raise ValueError(
+                f"method {name!r} is already registered "
+                f"(pass replace=True to override)"
+            )
+        method = Method(
+            name=name,
+            solve=fn,
+            exact=exact,
+            homogeneous_only=homogeneous_only,
+            cost_hint=cost_hint,
+            seeded=seeded,
+        )
+        METHODS[name] = method
+        return method
+
+    return deco
+
+
+def get_method(name: str) -> Method:
+    """Look up a registered method by name.
+
+    Raises
+    ------
+    UnknownMethodError
+        With the sorted list of known names — a ``KeyError`` (and, for
+        backward compatibility, a ``ValueError``).
+    """
+    try:
+        return METHODS[name]
+    except KeyError:
+        raise UnknownMethodError(
+            f"unknown method {name!r}; available: {sorted(METHODS)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------
+# Built-in methods
+# --------------------------------------------------------------------------
+
+
+@register_method("ilp", exact=True, homogeneous_only=True, cost_hint=10.0)
 def _ilp(chain, platform, P, L):
     return ilp_best(chain, platform, max_period=P, max_latency=L)
 
 
+@register_method("pareto-dp", exact=True, homogeneous_only=True, cost_hint=3.0)
 def _pareto(chain, platform, P, L):
     return pareto_dp_best(chain, platform, max_period=P, max_latency=L)
 
@@ -57,40 +250,21 @@ def _heur(which, selection, allocation="auto"):
     return solve
 
 
-METHODS: dict[str, Method] = {
-    "ilp": Method("ilp", _ilp, exact=True, homogeneous_only=True),
-    "pareto-dp": Method("pareto-dp", _pareto, exact=True, homogeneous_only=True),
-    "heur-l": Method(
-        "heur-l", _heur("heur-l", "feasible-best"), exact=False, homogeneous_only=False
-    ),
-    "heur-p": Method(
-        "heur-p", _heur("heur-p", "feasible-best"), exact=False, homogeneous_only=False
-    ),
-    # The paper's heterogeneous experiment code: the Section 7.2
-    # allocation (period-filtered) on *both* platforms of each pair, and
-    # best-reliability-then-check-bounds selection (see the
-    # heuristic_best docstring) — the source of Fig. 12's non-monotone
-    # curves.
-    "heur-l-paper": Method(
-        "heur-l-paper",
-        _heur("heur-l", "best-then-check", allocation="het"),
-        exact=False,
-        homogeneous_only=False,
-    ),
-    "heur-p-paper": Method(
-        "heur-p-paper",
-        _heur("heur-p", "best-then-check", allocation="het"),
-        exact=False,
-        homogeneous_only=False,
-    ),
-}
+register_method("heur-l")(_heur("heur-l", "feasible-best"))
+register_method("heur-p")(_heur("heur-p", "feasible-best"))
+
+# The paper's heterogeneous experiment code: the Section 7.2 allocation
+# (period-filtered) on *both* platforms of each pair, and
+# best-reliability-then-check-bounds selection (see the heuristic_best
+# docstring) — the source of Fig. 12's non-monotone curves.
+register_method("heur-l-paper")(_heur("heur-l", "best-then-check", allocation="het"))
+register_method("heur-p-paper")(_heur("heur-p", "best-then-check", allocation="het"))
 
 
-def get_method(name: str) -> Method:
-    """Look up a registered method by name."""
-    try:
-        return METHODS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {name!r}; available: {sorted(METHODS)}"
-        ) from None
+@register_method("anneal", cost_hint=20.0, seeded=True)
+def _anneal(chain, platform, P, L, seed=None):
+    from repro.extensions.annealing import anneal_mapping
+
+    return anneal_mapping(
+        chain, platform, max_period=P, max_latency=L, iterations=500, rng=seed
+    )

@@ -18,6 +18,7 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -26,7 +27,15 @@ from repro.core.interval import Interval
 from repro.core.mapping import Mapping
 from repro.core.platform import Platform
 
-__all__ = ["FORMAT_VERSION", "to_dict", "from_dict", "dumps", "loads"]
+__all__ = [
+    "FORMAT_VERSION",
+    "to_dict",
+    "from_dict",
+    "dumps",
+    "loads",
+    "canonical_json",
+    "content_hash",
+]
 
 FORMAT_VERSION = 1
 
@@ -92,6 +101,34 @@ def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping":
         ]
         return Mapping(chain, platform, assignment)
     raise ValueError(f"unknown object type {kind!r}")
+
+
+def canonical_json(payload: Any) -> str:
+    """Render *payload* as canonical JSON: sorted keys, no whitespace.
+
+    Python's ``repr``-based float serialization is shortest-round-trip,
+    so two equal floats always render identically — the rendering is a
+    stable identity for a JSON-able value across processes and machines.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def content_hash(*payloads: Any) -> str:
+    """SHA-256 hex digest of one or more JSON-able payloads.
+
+    Model objects (:class:`TaskChain`, :class:`Platform`,
+    :class:`Mapping`) are accepted directly and encoded via
+    :func:`to_dict` first.  The experiment result cache keys entries
+    with this: equal content gives equal keys across process restarts
+    (unlike ``hash``, which is salted per process).
+    """
+    digest = hashlib.sha256()
+    for payload in payloads:
+        if isinstance(payload, (TaskChain, Platform, Mapping)):
+            payload = to_dict(payload)
+        digest.update(canonical_json(payload).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()
 
 
 def dumps(obj: "TaskChain | Platform | Mapping", **json_kwargs: Any) -> str:

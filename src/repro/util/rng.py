@@ -9,9 +9,11 @@ independent child streams are derived.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
-__all__ = ["ensure_rng", "spawn"]
+__all__ = ["ensure_rng", "spawn", "spawn_seeds", "stable_seed"]
 
 RngLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
@@ -28,13 +30,37 @@ def ensure_rng(seed: "int | None | np.random.Generator | np.random.SeedSequence"
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Draw *n* integer seeds for independent child streams from *rng*.
+
+    Exposed separately from :func:`spawn` so parallel runners (e.g. the
+    cross-check's process fan-out) can ship plain integers to worker
+    processes and rebuild *exactly* the generators the serial path would
+    have used — bit-identical results either way.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n!r} generators")
+    return [int(s) for s in rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)]
+
+
 def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     """Derive *n* statistically independent child generators from *rng*.
 
     Used by the experiment harness to give each instance its own stream,
     so adding sweep points never perturbs other instances' draws.
     """
-    if n < 0:
-        raise ValueError(f"cannot spawn {n!r} generators")
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
+
+
+def stable_seed(*parts: object) -> int:
+    """Derive a deterministic 63-bit seed from a tuple of labels.
+
+    Unlike Python's ``hash`` (salted per process) this is stable across
+    process restarts and machines: parts are rendered with ``repr`` and
+    digested with SHA-256.  The experiment harness uses it to give every
+    ``(method, instance, bounds)`` work unit its own seed, so stochastic
+    methods produce identical draws whether a unit runs serially, in a
+    worker process, or in a re-run resumed from the cache.
+    """
+    digest = hashlib.sha256("\x1f".join(repr(p) for p in parts).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1

@@ -1,0 +1,147 @@
+"""The pluggable method registry: registration rules, capability
+metadata, lookup errors, and the SweepResult unknown-method regression."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.result import SolveResult
+from repro.experiments import (
+    METHODS,
+    Method,
+    UnknownMethodError,
+    get_method,
+    heterogeneous_suite,
+    homogeneous_suite,
+    register_method,
+    run_sweep,
+)
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register methods and roll the registry back after."""
+    before = dict(METHODS)
+    yield METHODS
+    METHODS.clear()
+    METHODS.update(before)
+
+
+class TestRegistration:
+    def test_decorator_registers_and_returns_method(self, scratch_registry):
+        @register_method("null-method", exact=False, cost_hint=0.5)
+        def solve(chain, platform, P, L):
+            return SolveResult(feasible=False, method="null-method")
+
+        assert isinstance(solve, Method)
+        assert get_method("null-method") is solve
+        assert solve.cost_hint == 0.5
+
+    def test_duplicate_name_rejected(self, scratch_registry):
+        with pytest.raises(ValueError, match="already registered"):
+            register_method("heur-l")(lambda c, p, P, L: None)
+
+    def test_replace_opt_in(self, scratch_registry):
+        original = get_method("heur-l")
+        replaced = register_method("heur-l", replace=True)(original.solve)
+        assert get_method("heur-l") is replaced
+
+    def test_bad_names_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_method("")
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_method(None)
+
+
+class TestLookup:
+    def test_get_method_raises_helpful_keyerror(self):
+        """The error is a KeyError and lists every known method."""
+        with pytest.raises(KeyError, match="unknown method 'nope'") as exc:
+            get_method("nope")
+        for name in METHODS:
+            assert name in str(exc.value)
+
+    def test_lookup_error_is_also_valueerror(self):
+        # Backward compatibility: callers catching ValueError still work.
+        with pytest.raises(ValueError, match="unknown method"):
+            get_method("nope")
+        assert issubclass(UnknownMethodError, KeyError)
+        assert issubclass(UnknownMethodError, ValueError)
+
+
+class TestCapabilities:
+    def test_builtin_metadata(self):
+        assert get_method("ilp").exact and get_method("ilp").homogeneous_only
+        assert get_method("pareto-dp").exact
+        assert not get_method("heur-l").exact
+        assert get_method("ilp").cost_hint > get_method("heur-l").cost_hint
+        assert get_method("anneal").seeded
+
+    def test_hom_only_refuses_het_platform(self):
+        pair = heterogeneous_suite(n_instances=1, seed=0)[0]
+        with pytest.raises(ValueError, match="requires homogeneous platforms"):
+            get_method("ilp").check_platform(pair.het_platform)
+        # The error names the method and suggests alternatives.
+        with pytest.raises(ValueError, match="heur-l"):
+            get_method("pareto-dp").check_platform(pair.het_platform)
+        # Homogeneous platforms pass; any platform passes for heuristics.
+        get_method("ilp").check_platform(pair.hom_platform)
+        get_method("heur-l").check_platform(pair.het_platform)
+
+    def test_run_sweep_rejects_het_up_front(self):
+        pair = heterogeneous_suite(n_instances=1, seed=0)[0]
+        with pytest.raises(ValueError, match="requires homogeneous platforms"):
+            run_sweep(
+                [(pair.chain, pair.het_platform)],
+                [get_method("pareto-dp")],
+                [(50.0, 100.0)],
+            )
+
+
+class TestFingerprints:
+    """Cache keys and the worker handshake pair a method's name with an
+    implementation fingerprint — names alone don't identify code."""
+
+    def test_different_code_different_fingerprint(self):
+        a = Method("m", lambda c, p, P, L: None, exact=False, homogeneous_only=False)
+        b = Method("m", lambda c, p, P, L: 1 + 1, exact=False, homogeneous_only=False)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_same_code_different_captures(self):
+        # heur-l and heur-p share one closure body; only the captured
+        # strings differ — the fingerprint must still tell them apart.
+        assert get_method("heur-l").fingerprint() != get_method("heur-p").fingerprint()
+
+    def test_stable_across_calls_and_mutable_state(self):
+        state = {"n": 0}
+
+        def solve(c, p, P, L):
+            state["n"] += 1
+
+        m = Method("counted", solve, exact=False, homogeneous_only=False)
+        before = m.fingerprint()
+        state["n"] = 99  # runtime state must not churn the key
+        assert m.fingerprint() == before
+
+
+class TestSweepResultErrors:
+    """Regression: unknown method names in SweepResult helpers raise a
+    descriptive UnknownMethodError, not a bare ValueError from _idx."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        suite = homogeneous_suite(n_instances=2, seed=13)
+        return run_sweep(
+            suite, [get_method("heur-l"), get_method("heur-p")], [(200.0, 750.0)]
+        )
+
+    def test_counts_unknown_method(self, sweep):
+        with pytest.raises(UnknownMethodError, match="not in sweep") as exc:
+            sweep.counts("ilp")
+        assert "heur-l" in str(exc.value) and "heur-p" in str(exc.value)
+
+    def test_average_failure_unknown_method(self, sweep):
+        with pytest.raises(KeyError, match="'no-such-method' not in sweep"):
+            sweep.average_failure("no-such-method")
+
+    def test_known_method_still_works(self, sweep):
+        assert sweep.counts("heur-l").shape == (1,)

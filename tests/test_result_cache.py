@@ -1,0 +1,197 @@
+"""The on-disk result cache: round-trips, stable keys, invalidation,
+corruption recovery, and the zero-solve warm-run guarantee."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core import Platform, TaskChain
+from repro.experiments import Method, ResultCache, get_method, homogeneous_suite, run_sweep
+from repro.experiments.cache import resolve_cache
+from repro.io import content_hash
+
+BOUNDS = [(100.0, 750.0), (300.0, 750.0)]
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return homogeneous_suite(n_instances=1, seed=8)[0]
+
+
+class TestRoundTrip:
+    def test_put_get(self, cache):
+        solved = np.array([True, False])
+        failure = np.array([1.25e-4, 1.0])
+        cache.put("ab" * 32, solved, failure, method_name="heur-l")
+        got = cache.get("ab" * 32, 2)
+        assert got is not None
+        assert np.array_equal(got[0], solved)
+        # Floats survive JSON exactly (shortest-round-trip repr).
+        assert np.array_equal(got[1], failure)
+        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1}
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.get("cd" * 32, 2) is None
+        assert cache.misses == 1
+
+
+class TestKeyStability:
+    def test_stable_across_process_restarts(self, instance):
+        """Content hashes must not depend on per-process hash salting."""
+        chain, platform = instance
+        cache = ResultCache(".")
+        here = cache.unit_key("heur-l", chain, platform, BOUNDS)
+        script = (
+            "from repro.experiments import homogeneous_suite\n"
+            "from repro.experiments.cache import ResultCache\n"
+            "chain, platform = homogeneous_suite(n_instances=1, seed=8)[0]\n"
+            f"print(ResultCache('.').unit_key('heur-l', chain, platform, {BOUNDS!r}))\n"
+        )
+        import repro
+
+        env = dict(os.environ)
+        pkg_root = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+        env["PYTHONPATH"] = pkg_root + os.pathsep + env.get("PYTHONPATH", "")
+        there = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True, env=env,
+        ).stdout.strip()
+        assert here == there
+
+    def test_invalidation_on_ingredient_change(self, instance):
+        chain, platform = instance
+        cache = ResultCache(".")
+        base = cache.unit_key("heur-l", chain, platform, BOUNDS)
+        other_chain = TaskChain(chain.work * 2.0, chain.output)
+        other_platform = Platform(
+            speeds=platform.speeds * 2.0,
+            failure_rates=platform.failure_rates,
+            bandwidth=platform.bandwidth,
+            link_failure_rate=platform.link_failure_rate,
+            max_replication=platform.max_replication,
+        )
+        variants = {
+            "method": cache.unit_key("heur-p", chain, platform, BOUNDS),
+            "chain": cache.unit_key("heur-l", other_chain, platform, BOUNDS),
+            "platform": cache.unit_key("heur-l", chain, other_platform, BOUNDS),
+            "bounds": cache.unit_key("heur-l", chain, platform, BOUNDS[:1]),
+            "seed": cache.unit_key("heur-l", chain, platform, BOUNDS, seed=7),
+        }
+        for what, key in variants.items():
+            assert key != base, f"changing the {what} must change the key"
+        assert len(set(variants.values())) == len(variants)
+
+    def test_content_hash_model_objects(self, instance):
+        chain, platform = instance
+        assert content_hash(chain) == content_hash(chain)
+        assert content_hash(chain) != content_hash(platform)
+
+
+class TestCorruptionRecovery:
+    def _one_entry(self, cache):
+        key = cache.unit_key("x", *homogeneous_suite(n_instances=1, seed=8)[0], BOUNDS)
+        cache.put(key, np.array([True, True]), np.array([0.5, 0.5]))
+        return key, cache._path(key)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            "not json at all {",
+            json.dumps({"repro_cache": 999, "solved": [True], "failure": [0.5]}),
+            json.dumps({"repro_cache": 1, "solved": [True], "failure": [0.5]}),  # wrong len
+            json.dumps({"repro_cache": 1}),  # missing arrays
+            json.dumps([1, 2, 3]),  # wrong top-level type
+        ],
+    )
+    def test_corrupt_entry_is_dropped_and_recomputed(self, cache, garbage):
+        key, path = self._one_entry(cache)
+        path.write_text(garbage)
+        assert cache.get(key, 2) is None  # treated as a miss ...
+        assert not path.exists()  # ... and deleted
+        cache.put(key, np.array([True, False]), np.array([0.25, 1.0]))
+        got = cache.get(key, 2)  # recovery: rewritten entry reads back
+        assert got is not None and got[0][0] and not got[0][1]
+
+    def test_corrupt_entry_heals_through_run_sweep(self, cache, instance):
+        methods = [get_method("heur-l")]
+        first = run_sweep([instance], methods, BOUNDS, cache=cache)
+        (entry,) = [p for p in cache.root.rglob("*.json")]
+        entry.write_text("truncated garbag")
+        again = run_sweep([instance], methods, BOUNDS, cache=cache)
+        assert np.array_equal(first.failure, again.failure)
+        assert json.loads(entry.read_text())["repro_cache"] == 1
+
+
+class TestWarmRunDoesNoWork:
+    def test_second_cached_run_performs_zero_solves(self, cache):
+        """The acceptance criterion: a warm cache means zero method
+        solves — verified with a hit-counting registered method."""
+        from repro.experiments import METHODS, register_method
+
+        solve_calls = {"n": 0}
+
+        def counting_solve(c, p, P, L):
+            solve_calls["n"] += 1
+            return get_method("heur-l").solve(c, p, P, L)
+
+        counted = register_method("counted-heur-l")(counting_solve)
+        try:
+            suite = homogeneous_suite(n_instances=3, seed=21)
+            first = run_sweep(suite, [counted], BOUNDS, cache=cache)
+            n_units = len(suite)
+            assert solve_calls["n"] == n_units * len(BOUNDS)
+            assert cache.stats() == {"hits": 0, "misses": n_units, "puts": n_units}
+
+            second = run_sweep(suite, [counted], BOUNDS, cache=cache)
+            assert solve_calls["n"] == n_units * len(BOUNDS)  # zero new solves
+            assert cache.hits == n_units
+            assert np.array_equal(first.solved, second.solved)
+            assert np.array_equal(first.failure, second.failure)
+        finally:
+            METHODS.pop("counted-heur-l", None)
+
+    def test_ad_hoc_methods_are_never_cached(self, cache):
+        """A bare name cannot fingerprint a local callable, so methods
+        outside the registry bypass the cache entirely."""
+        local = Method(
+            name="heur-l",  # same name as a builtin, different object
+            solve=lambda c, p, P, L: get_method("heur-l").solve(c, p, P, L),
+            exact=False, homogeneous_only=False,
+        )
+        suite = homogeneous_suite(n_instances=2, seed=21)
+        run_sweep(suite, [local], BOUNDS, cache=cache)
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0}
+
+    def test_infinite_bounds_are_cacheable(self, cache):
+        """Unbounded sweeps (P or L = inf) must work with the cache on."""
+        suite = homogeneous_suite(n_instances=1, seed=21)
+        inf_bounds = [(float("inf"), 750.0), (250.0, float("inf"))]
+        first = run_sweep(suite, [get_method("heur-l")], inf_bounds, cache=cache)
+        second = run_sweep(suite, [get_method("heur-l")], inf_bounds, cache=cache)
+        assert cache.hits == 1 and cache.puts == 1
+        assert np.array_equal(first.failure, second.failure)
+
+
+class TestResolveCache:
+    def test_none_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache(None) is None
+
+    def test_env_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store = resolve_cache(None)
+        assert isinstance(store, ResultCache) and store.root == tmp_path
+
+    def test_passthrough_and_path(self, cache, tmp_path):
+        assert resolve_cache(cache) is cache
+        assert resolve_cache(tmp_path).root == tmp_path
