@@ -1,0 +1,58 @@
+"""Throughput — batched vs. per-instance scenario ensemble generation.
+
+The scenario layer's two RNG modes trade contracts for speed: the
+per-instance mode spawns one child stream per instance (legacy
+bit-compatibility, prefix stability), the batched mode draws whole
+``(n_instances, n_tasks)`` matrices in single numpy calls.  This bench
+generates a 1000-instance ensemble both ways and reports instances per
+second, plus the batched mode's speedup.
+
+The two modes draw *different* ensembles by design (different stream
+layouts), so the bench asserts distributional invariants — sizes,
+ranges, reproducibility — rather than equality.
+"""
+
+import time
+
+from repro.scenarios import generate_instances, get_scenario
+from benchmarks.conftest import emit
+
+N_INSTANCES = 1000
+
+
+def _time(spec, seed=0):
+    t0 = time.perf_counter()
+    ensemble = generate_instances(spec, seed=seed)
+    return ensemble, time.perf_counter() - t0
+
+
+def test_scenario_generation_throughput(benchmark):
+    base = get_scenario("high-heterogeneity").spec.with_(n_instances=N_INSTANCES)
+    per_instance = base.with_(rng_mode="per-instance")
+    batched = base.with_(rng_mode="batched")
+
+    ensemble_pi, seconds_pi = _time(per_instance)
+    ensemble_b, seconds_b = _time(batched)
+
+    emit()
+    emit(f"scenario generation, {N_INSTANCES} instances "
+         f"({base.name}: {base.n_tasks} tasks x {base.p} procs)")
+    emit("mode          seconds   instances/s")
+    for mode, secs in (("per-instance", seconds_pi), ("batched", seconds_b)):
+        emit(f"{mode:12s}  {secs:8.4f}  {N_INSTANCES / secs:10.0f}")
+    emit(f"batched speedup: {seconds_pi / seconds_b:.1f}x")
+
+    for ensemble in (ensemble_pi, ensemble_b):
+        assert len(ensemble) == N_INSTANCES
+        chain, platform = ensemble[0]
+        assert chain.n == 15 and platform.p == 10
+        assert not platform.homogeneous  # loguniform rates, lognormal speeds
+
+    # Reproducibility: same spec + seed -> same ensemble.
+    again, _ = _time(batched)
+    assert all(
+        ca == cb and pa == pb
+        for (ca, pa), (cb, pb) in zip(ensemble_b, again)
+    )
+
+    benchmark(lambda: generate_instances(batched, seed=1))

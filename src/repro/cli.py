@@ -22,6 +22,14 @@ Commands
     ``repro-manifest.json``) records the seed, grid, library versions,
     elapsed time, and cache hit/miss counts of the run.  Environment
     fallbacks: ``$REPRO_JOBS``, ``$REPRO_CACHE_DIR``.
+``scenario``
+    The declarative workload layer (:mod:`repro.scenarios`):
+    ``scenario list`` enumerates registered scenarios with their
+    capability metadata, ``scenario show NAME`` prints a spec as
+    re-loadable JSON, and ``scenario run NAME_OR_FILE`` generates the
+    ensemble and sweeps it through the harness (same ``--jobs`` /
+    ``--cache-dir`` knobs as ``experiment``; spec files may be JSON or
+    TOML).
 ``demo``
     Solve a seeded random instance end to end — no files needed.
 
@@ -126,6 +134,37 @@ def build_parser() -> argparse.ArgumentParser:
                             help="where to write the run manifest JSON")
     experiment.add_argument("--quiet", action="store_true",
                             help="suppress the figure tables, print only the manifest path")
+
+    scenario = sub.add_parser(
+        "scenario", help="declarative workload scenarios (list/show/run)"
+    )
+    ssub = scenario.add_subparsers(dest="scenario_cmd", required=True)
+
+    ssub.add_parser("list", help="list registered scenarios and their metadata")
+
+    show = ssub.add_parser("show", help="print one scenario's spec as JSON")
+    show.add_argument("name", help="registered scenario name")
+
+    run = ssub.add_parser(
+        "run",
+        help="generate a scenario's ensemble and sweep it through the harness",
+    )
+    run.add_argument(
+        "scenario",
+        help="registered scenario name, or a path to a spec file (.json/.toml)",
+    )
+    run.add_argument("--n-instances", type=int, default=None,
+                     help="override the spec's instance count")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--methods", nargs="+", default=None, metavar="METHOD",
+                     help="registered methods to sweep (default: heuristics, "
+                     "plus pareto-dp on homogeneous scenarios)")
+    run.add_argument("--max-period", type=float, default=math.inf)
+    run.add_argument("--max-latency", type=float, default=math.inf)
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default $REPRO_JOBS or 1)")
+    run.add_argument("--cache-dir", type=pathlib.Path, default=None,
+                     help="result cache directory (default $REPRO_CACHE_DIR)")
 
     demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
     demo.add_argument("--tasks", type=int, default=10)
@@ -302,6 +341,126 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _resolve_scenario_token(token: str):
+    """Resolve a CLI scenario argument: registry name first, then file.
+
+    Returns ``(spec, scenario-or-None)``.
+    """
+    from repro.scenarios import (
+        SCENARIOS,
+        UnknownScenarioError,
+        get_scenario,
+        load_spec,
+    )
+
+    try:
+        entry = get_scenario(token)
+        return entry.spec, entry
+    except UnknownScenarioError:
+        path = pathlib.Path(token)
+        if not path.exists():
+            raise SystemExit(
+                f"unknown scenario {token!r} and no such spec file; "
+                f"registered: {sorted(SCENARIOS)}"
+            )
+        try:
+            return load_spec(path), None
+        except (ValueError, OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot load scenario spec {path}: {exc}")
+
+
+def _cmd_scenario(args) -> int:
+    from repro.experiments.harness import run_sweep
+    from repro.experiments.methods import get_method
+    from repro.scenarios import (
+        SCENARIOS,
+        generate_instances,
+        scenario_hash,
+        spec_is_homogeneous,
+    )
+
+    if args.scenario_cmd == "list":
+        header = f"{'name':20s} {'inst':>5s} {'tasks':>9s} {'procs':>7s} {'mode':>12s}  hom pair  tags"
+        print(header)
+        print("-" * len(header))
+        for name in sorted(SCENARIOS):
+            d = SCENARIOS[name].describe()
+            fmt = lambda v: "x".join(map(str, v)) if isinstance(v, tuple) else str(v)
+            print(
+                f"{d['name']:20s} {d['n_instances']:>5d} {fmt(d['n_tasks']):>9s} "
+                f"{fmt(d['p']):>7s} {d['rng_mode']:>12s}  "
+                f"{'yes' if d['homogeneous'] else ' no'} "
+                f"{'yes' if d['paired'] else ' no'}  {','.join(d['tags'])}"
+            )
+        return 0
+
+    if args.scenario_cmd == "show":
+        spec, entry = _resolve_scenario_token(args.name)
+        print(dumps(spec, indent=2))
+        if entry is not None:
+            print(
+                f"# homogeneous={entry.homogeneous} paired={entry.paired} "
+                f"tags={','.join(entry.tags) or '-'} "
+                f"variants={len(spec.variants())}",
+                file=sys.stderr,
+            )
+        return 0
+
+    # scenario run
+    import time
+
+    spec, entry = _resolve_scenario_token(args.scenario)
+    if args.n_instances is not None:
+        try:
+            spec = spec.with_(n_instances=args.n_instances)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+    homogeneous = entry.homogeneous if entry is not None else spec_is_homogeneous(spec)
+    if args.methods:
+        methods = [get_method(m) for m in args.methods]
+    else:
+        methods = [get_method("heur-l"), get_method("heur-p")]
+        if homogeneous:
+            methods.append(get_method("pareto-dp"))
+
+    t0 = time.perf_counter()
+    ensemble = generate_instances(spec, seed=args.seed)
+    gen_seconds = time.perf_counter() - t0
+    n = len(ensemble)
+    paired_note = " (paired: sweeping the heterogeneous side)" if spec.paired else ""
+    print(
+        f"scenario {spec.name!r}: {n} instances "
+        f"({len(spec.variants())} variant(s)), generated in {gen_seconds:.3f}s"
+        f"{paired_note}"
+    )
+
+    if spec.paired:
+        instances = [(pair.chain, pair.het_platform) for pair in ensemble]
+    else:
+        instances = ensemble
+    t0 = time.perf_counter()
+    sweep = run_sweep(
+        instances,
+        methods,
+        [(args.max_period, args.max_latency)],
+        jobs=args.jobs,
+        cache=args.cache_dir,
+        scenario_key=scenario_hash(spec),
+    )
+    sweep_seconds = time.perf_counter() - t0
+    print(
+        f"sweep point: period <= {args.max_period:g}, "
+        f"latency <= {args.max_latency:g} ({sweep_seconds:.3f}s)"
+    )
+    print(f"{'method':14s} {'solved':>8s}  avg failure (solved)")
+    for name in sweep.method_names:
+        count = int(sweep.counts(name)[0])
+        avg = sweep.average_failure(name, rule="per-method")[0]
+        avg_text = f"{avg:.3e}" if count else "-"
+        print(f"{name:14s} {count:>4d}/{n:<4d} {avg_text:>12s}")
+    return 0
+
+
 def _cmd_demo(args) -> int:
     import numpy as np
 
@@ -338,6 +497,7 @@ COMMANDS = {
     "simulate": _cmd_simulate,
     "figures": _cmd_figures,
     "experiment": _cmd_experiment,
+    "scenario": _cmd_scenario,
     "demo": _cmd_demo,
 }
 

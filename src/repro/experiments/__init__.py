@@ -15,7 +15,14 @@ Everything needed to regenerate Figures 6-15:
   result cache shared by figures, benches, and the CLI;
 * :mod:`repro.experiments.figures` — one configuration per figure and
   the runners that produce its series;
-* :mod:`repro.experiments.report` — ASCII rendering and JSON dumps.
+* :mod:`repro.experiments.report` — ASCII rendering and JSON dumps;
+* :mod:`repro.experiments.crosscheck` — the whole-stack validation
+  chain over a randomized (or scenario-driven) instance population.
+
+Workloads beyond the paper's two suites are declared, not coded: the
+harness, the cross-check, and the CLI all accept scenario names or
+specs from :mod:`repro.scenarios` (``run_sweep("long-chain", ...)``),
+with the spec's content hash folded into the result-cache keys.
 """
 
 from repro.experiments.instances import (
@@ -32,6 +39,7 @@ from repro.experiments.methods import (
     register_method,
 )
 from repro.experiments.cache import ResultCache
+from repro.experiments.crosscheck import CrosscheckReport, run_crosscheck
 from repro.experiments.harness import SweepResult, run_sweep
 from repro.experiments.figures import (
     EXPERIMENTS,
@@ -53,6 +61,8 @@ __all__ = [
     "get_method",
     "register_method",
     "ResultCache",
+    "CrosscheckReport",
+    "run_crosscheck",
     "SweepResult",
     "run_sweep",
     "EXPERIMENTS",

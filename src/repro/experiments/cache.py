@@ -97,6 +97,7 @@ class ResultCache:
         bounds: Sequence[tuple[float, float]],
         seed: "int | None" = None,
         fingerprint: "str | None" = None,
+        scenario: "str | None" = None,
     ) -> str:
         """Content hash identifying one work unit's result.
 
@@ -105,17 +106,29 @@ class ResultCache:
         key, so neither a solver fix in a new release nor an edited or
         re-registered method ever replays stale arrays from a shared
         cache directory.
+
+        When the sweep was materialized from a declarative scenario,
+        *scenario* carries the spec's content hash
+        (:func:`repro.scenarios.scenario_hash`) and becomes part of the
+        key: two workloads that happen to generate an identical
+        instance still keep separate entries, and editing a spec's
+        generative fields can never replay arrays computed for the old
+        workload.  ``None`` (direct instance lists) leaves the key
+        exactly as in earlier releases, so existing caches stay valid.
         """
         from repro import __version__
 
+        ingredients = {
+            "repro_cache": CACHE_FORMAT,
+            "repro_version": __version__,
+            "method": method_name,
+            "fingerprint": fingerprint,
+            "seed": seed,
+        }
+        if scenario is not None:
+            ingredients["scenario"] = scenario
         return content_hash(
-            {
-                "repro_cache": CACHE_FORMAT,
-                "repro_version": __version__,
-                "method": method_name,
-                "fingerprint": fingerprint,
-                "seed": seed,
-            },
+            ingredients,
             to_dict(chain),
             to_dict(platform),
             [[_bound_token(P), _bound_token(L)] for P, L in bounds],

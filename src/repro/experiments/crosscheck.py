@@ -19,6 +19,16 @@ integer seed (drawn via :func:`repro.util.rng.spawn_seeds`), so the
 population fans out over a process pool: ``jobs > 1`` (or
 ``$REPRO_JOBS``) runs instances concurrently and merges per-instance
 records in instance order — the report is identical to the serial one.
+
+The population defaults to this module's own brute-force-friendly
+random instances, but any *homogeneous* declarative scenario
+(:mod:`repro.scenarios`) can supply the distributions instead
+(``scenario=...``): its work/output/speed/failure draws are used at
+the cross-check's small sizes, with period/latency bounds derived per
+instance from an unbounded heuristic solve.  Heterogeneous scenarios
+are rejected up front — the chain's exact solvers are Section 5
+algorithms, and running them out of scope would report false
+disagreements.
 """
 
 from __future__ import annotations
@@ -38,6 +48,7 @@ from repro.algorithms import (
 from repro.core import random_chain
 from repro.core.evaluation import mapping_log_reliability
 from repro.core.platform import Platform
+from repro.io import from_dict, to_dict
 from repro.rbd import (
     exact_log_reliability_enumeration,
     exact_log_reliability_factoring,
@@ -92,12 +103,23 @@ def _close(a: float, b: float) -> bool:
     return abs(a - b) <= EXACT_RTOL * max(abs(a), abs(b), 1e-300)
 
 
-def _check_instance(seed: int, n_tasks: int, p: int, simulate: bool) -> dict:
+def _check_instance(
+    seed: int,
+    n_tasks: int,
+    p: int,
+    simulate: bool,
+    instance: "tuple[dict, dict] | None" = None,
+) -> dict:
     """Run the full validation chain on one seeded instance.
 
     Module-level and driven by a plain integer seed so it can run in a
     worker process; returns a flat record the parent merges into the
-    :class:`CrosscheckReport` in instance order.
+    :class:`CrosscheckReport` in instance order.  When *instance*
+    carries ``(chain, platform)`` JSON payloads (the scenario-driven
+    population), those are used instead of this function's own random
+    instance, and the (P, L) bounds are derived from an unbounded
+    heuristic solve so they land in the feasibility transition region
+    regardless of the scenario's cost scales.
     """
     rng = np.random.default_rng(seed)
     record = {
@@ -107,16 +129,27 @@ def _check_instance(seed: int, n_tasks: int, p: int, simulate: bool) -> dict:
         "simulation_outlier": False,
         "details": [],
     }
-    chain = random_chain(n_tasks, rng)
-    K = int(rng.integers(1, 4))
-    platform = Platform.homogeneous_platform(
-        p,
-        failure_rate=10.0 ** -float(rng.uniform(2, 8)),
-        link_failure_rate=10.0 ** -float(rng.uniform(2, 5)),
-        max_replication=K,
-    )
-    P = float(rng.uniform(40, 400))
-    L = float(rng.uniform(150, 900))
+    if instance is not None:
+        chain = from_dict(instance[0])
+        platform = from_dict(instance[1])
+        reference = heuristic_best(chain, platform)
+        if not reference.feasible:  # pragma: no cover - unbounded heur always maps
+            record["details"].append("unbounded heuristic found no mapping")
+            return record
+        ev = reference.evaluation
+        P = float(ev.worst_case_period) * float(rng.uniform(0.8, 2.0))
+        L = float(ev.worst_case_latency) * float(rng.uniform(0.8, 2.0))
+    else:
+        chain = random_chain(n_tasks, rng)
+        K = int(rng.integers(1, 4))
+        platform = Platform.homogeneous_platform(
+            p,
+            failure_rate=10.0 ** -float(rng.uniform(2, 8)),
+            link_failure_rate=10.0 ** -float(rng.uniform(2, 5)),
+            max_replication=K,
+        )
+        P = float(rng.uniform(40, 400))
+        L = float(rng.uniform(150, 900))
 
     # --- exact solver agreement ---------------------------------
     bf = brute_force_best(chain, platform, max_period=P, max_latency=L)
@@ -179,6 +212,7 @@ def run_crosscheck(
     p: int = 4,
     simulate: bool = True,
     jobs: "int | None" = None,
+    scenario=None,
 ) -> CrosscheckReport:
     """Run the full validation chain over a random instance population.
 
@@ -186,14 +220,57 @@ def run_crosscheck(
     method runs on every instance at randomized (P, L) bounds.  With
     ``jobs > 1`` (or ``$REPRO_JOBS``) instances run in worker
     processes; the report is identical to a serial run.
+
+    Parameters
+    ----------
+    scenario:
+        Optional scenario name / :class:`~repro.scenarios.spec.
+        ScenarioSpec` / :class:`~repro.scenarios.registry.Scenario`.
+        Its *distributions* drive the population at this function's
+        brute-force-friendly sizes (``n_tasks``/``p`` override the
+        spec's dimensions, which would dwarf the exact solvers).  The
+        scenario must generate homogeneous platforms — the
+        ``homogeneous`` capability gate of the registry — because the
+        chain's exact solvers are Section 5 algorithms.
     """
     from repro.experiments.harness import resolve_jobs
 
     jobs = resolve_jobs(jobs)
+    payloads: "list[tuple[dict, dict] | None]" = [None] * n_instances
+    if scenario is not None:
+        from repro.scenarios import (
+            generate_instances,
+            resolve_scenario,
+            spec_is_homogeneous,
+        )
+
+        spec, entry = resolve_scenario(scenario)
+        homogeneous = entry.homogeneous if entry is not None else spec_is_homogeneous(spec)
+        if not homogeneous:
+            raise ValueError(
+                f"cross-check needs a homogeneous scenario (the exact solvers "
+                f"implement Section 5 algorithms); scenario {spec.name!r} "
+                f"generates heterogeneous platforms"
+            )
+        sized = spec.with_(n_tasks=n_tasks, p=p, n_instances=n_instances)
+        ensemble = generate_instances(sized, seed=seed)
+        if len(ensemble) > n_instances:
+            # Sweep-axis specs expand to len(variants) * n_instances
+            # instances; keep the population at n_instances but sample
+            # it evenly so every variant regime retains coverage
+            # instead of silently checking only the first variant.
+            chosen = np.linspace(0, len(ensemble) - 1, n_instances).round().astype(int)
+            ensemble = [ensemble[i] for i in chosen]
+        payloads = [
+            (to_dict(chain), to_dict(platform)) for chain, platform in ensemble
+        ]
     master = ensure_rng(seed)
     seeds = spawn_seeds(master, n_instances)
     if jobs == 1 or n_instances <= 1:
-        records = [_check_instance(s, n_tasks, p, simulate) for s in seeds]
+        records = [
+            _check_instance(s, n_tasks, p, simulate, inst)
+            for s, inst in zip(seeds, payloads)
+        ]
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, n_instances)) as pool:
             records = list(
@@ -203,6 +280,7 @@ def run_crosscheck(
                     [n_tasks] * n_instances,
                     [p] * n_instances,
                     [simulate] * n_instances,
+                    payloads,
                 )
             )
     report = CrosscheckReport()

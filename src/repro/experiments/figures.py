@@ -34,8 +34,8 @@ from typing import Callable
 import numpy as np
 
 from repro.experiments.harness import SweepResult, run_sweep
-from repro.experiments.instances import heterogeneous_suite, homogeneous_suite
 from repro.experiments.methods import get_method
+from repro.scenarios import generate_instances, get_scenario, scenario_hash
 
 __all__ = [
     "EXPERIMENTS",
@@ -200,19 +200,36 @@ def run_experiment(
 
     sweeps: dict[str, SweepResult] = {}
     if spec.kind == "hom":
-        instances = homogeneous_suite(n_instances=n_instances, seed=seed)
+        # The Section 8.1 suite, materialized from its declarative spec
+        # (bit-identical to the legacy homogeneous_suite for any seed).
+        scn = get_scenario("section8-hom").spec.with_(n_instances=n_instances)
+        instances = generate_instances(scn, seed=seed)
         methods = [get_method(exact_method), get_method("heur-l"), get_method("heur-p")]
-        sweeps["hom"] = run_sweep(instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
+        sweeps["hom"] = run_sweep(
+            instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
+            scenario_key=scenario_hash(scn),
+        )
     else:
-        pairs = heterogeneous_suite(n_instances=n_instances, seed=seed)
+        scn = get_scenario("section8-het").spec.with_(n_instances=n_instances)
+        pairs = generate_instances(scn, seed=seed)
         # The "-paper" variants select best reliability before checking
         # bounds — the reading of Section 7 that reproduces Fig. 12's
         # non-monotone heterogeneous curves (identical on hom platforms).
         methods = [get_method("heur-l-paper"), get_method("heur-p-paper")]
         het_instances = [(p.chain, p.het_platform) for p in pairs]
         hom_instances = [(p.chain, p.hom_platform) for p in pairs]
-        sweeps["het"] = run_sweep(het_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
-        sweeps["hom"] = run_sweep(hom_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache)
+        # One scenario hash for both sides: the unit keys already hash
+        # each instance's platform, so het/hom units cannot collide —
+        # and a direct run_sweep("section8-het", ...) shares this cache.
+        scn_hash = scenario_hash(scn)
+        sweeps["het"] = run_sweep(
+            het_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
+            scenario_key=scn_hash,
+        )
+        sweeps["hom"] = run_sweep(
+            hom_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
+            scenario_key=scn_hash,
+        )
     return ExperimentResult(
         spec=spec,
         xs=xs,

@@ -24,9 +24,11 @@ The sweep decomposes into independent **work units** — one registered
 method run on one instance across the whole bounds list.  Units are
 
 * **cached**: each unit's ``(solved, failure)`` arrays are stored under
-  a content hash of the method name, chain, platform, bounds, and
-  per-unit seed (:mod:`repro.experiments.cache`), so figures, benches,
-  and cross-checks share work instead of recomputing;
+  a content hash of the method name, chain, platform, bounds, per-unit
+  seed, and — for sweeps materialized from a declarative scenario
+  (:mod:`repro.scenarios`) — the scenario spec's content hash
+  (:mod:`repro.experiments.cache`), so figures, benches, and
+  cross-checks share work instead of recomputing;
 * **parallel**: with ``jobs > 1``, uncached units fan out over a
   :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive the
   method *name* plus JSON payloads of the instance (closures do not
@@ -210,21 +212,62 @@ def _unit_seed(method: Method, chain: TaskChain, platform: Platform,
     )
 
 
+def _resolve_instances(
+    instances, seed: int, n_instances: "int | None", scenario_key: "str | None"
+) -> tuple[list, "str | None"]:
+    """Materialize a scenario argument into ``(chain, platform)`` pairs.
+
+    Plain instance lists pass through untouched.  A scenario name,
+    :class:`~repro.scenarios.spec.ScenarioSpec`, or
+    :class:`~repro.scenarios.registry.Scenario` is generated here
+    (seeded by *seed*, optionally overriding the spec's instance
+    count), and the spec's content hash becomes the sweep's cache-key
+    scenario component — unless the caller pinned *scenario_key*
+    explicitly.  Paired (Section 8.2-shaped) scenarios contribute their
+    heterogeneous side; sweep the two sides separately (as
+    :func:`repro.experiments.figures.run_experiment` does) to compare
+    against the homogeneous counterparts.
+    """
+    if isinstance(instances, (list, tuple)):
+        return list(instances), scenario_key
+    from repro.scenarios import generate_instances, resolve_scenario, scenario_hash
+
+    spec, _ = resolve_scenario(instances)
+    if n_instances is not None:
+        spec = spec.with_(n_instances=n_instances)
+    generated = generate_instances(spec, seed=seed)
+    if spec.paired:
+        generated = [(pair.chain, pair.het_platform) for pair in generated]
+    if scenario_key is None:
+        scenario_key = scenario_hash(spec)
+    return generated, scenario_key
+
+
 def run_sweep(
-    instances: Sequence[tuple[TaskChain, Platform]],
+    instances: "Sequence[tuple[TaskChain, Platform]] | str",
     methods: Sequence[Method],
     bounds: Sequence[tuple[float, float]],
     xs: Sequence[float] | None = None,
     *,
     jobs: "int | None" = None,
     cache: "ResultCache | str | os.PathLike[str] | None" = None,
+    seed: int = 0,
+    n_instances: "int | None" = None,
+    scenario_key: "str | None" = None,
 ) -> SweepResult:
     """Run every method on every instance at every bound point.
 
     Parameters
     ----------
     instances:
-        ``(chain, platform)`` pairs.
+        ``(chain, platform)`` pairs — or a declarative workload: a
+        registered scenario name (``"section8-hom"``), a
+        :class:`~repro.scenarios.spec.ScenarioSpec`, or a
+        :class:`~repro.scenarios.registry.Scenario`.  Scenario
+        ensembles are generated with *seed* (and *n_instances*, when
+        given), and the spec's content hash is folded into every unit's
+        cache key — a repeated sweep over the same named scenario is
+        served entirely from cache.
     methods:
         The methods to compare (a heterogeneous platform with a
         homogeneous-only method raises immediately).
@@ -241,7 +284,14 @@ def run_sweep(
         A :class:`~repro.experiments.cache.ResultCache`, a cache
         directory path, or ``None`` to read ``$REPRO_CACHE_DIR`` (unset
         = no caching).
+    seed, n_instances:
+        Scenario generation knobs; ignored for explicit instance lists.
+    scenario_key:
+        Explicit cache-key scenario component (overrides the derived
+        spec hash; used by the experiment runners to distinguish the
+        two sides of a paired scenario).
     """
+    instances, scenario_key = _resolve_instances(instances, seed, n_instances, scenario_key)
     if not instances:
         raise ValueError("need at least one instance")
     if not bounds:
@@ -289,6 +339,7 @@ def run_sweep(
                 key = store.unit_key(
                     method.name, chain, platform, bounds, seed,
                     fingerprint=fingerprints[method.name],
+                    scenario=scenario_key,
                 )
                 hit = store.get(key, n_pts)
                 if hit is not None:

@@ -9,6 +9,16 @@ Heterogeneous experiments (Section 8.2): same chains; processor speeds
 *homogeneous counterpart* platform of speed 5 ("a second instance is
 created with the same chain of tasks and a homogeneous platform of
 speed 5").
+
+These two suites are also available declaratively as the registered
+scenarios ``"section8-hom"`` and ``"section8-het"``
+(:mod:`repro.scenarios.builtin`); the scenario layer's per-instance RNG
+mode reproduces the functions here **bit for bit** under the same seed
+— ``tests/test_scenarios.py`` pins that equivalence, so the two code
+paths cross-check each other.  Prefer the scenario form for anything
+beyond the paper's exact suites (new distributions, sweeps, paired
+regimes); the functions below remain the canonical Section 8 reference
+implementation.
 """
 
 from __future__ import annotations

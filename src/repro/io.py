@@ -1,8 +1,11 @@
-"""JSON (de)serialization for chains, platforms, mappings, and results.
+"""JSON (de)serialization for chains, platforms, mappings, and specs.
 
 Instances and solutions need to travel — between experiment stages,
 into EXPERIMENTS.md bookkeeping, across tools.  This module defines a
-stable, versioned JSON round-trip for every user-facing model object.
+stable, versioned JSON round-trip for every user-facing model object,
+including :class:`~repro.scenarios.spec.ScenarioSpec` (so workload
+definitions ship as files through the same codec as the instances they
+generate).
 
 Format: each object carries a ``"type"`` tag and a flat payload; a
 top-level ``"repro_format"`` version guards future migrations.
@@ -40,7 +43,7 @@ __all__ = [
 FORMAT_VERSION = 1
 
 
-def to_dict(obj: "TaskChain | Platform | Mapping") -> dict[str, Any]:
+def to_dict(obj: "TaskChain | Platform | Mapping | Any") -> dict[str, Any]:
     """Encode a model object into a JSON-ready dict."""
     if isinstance(obj, TaskChain):
         payload: dict[str, Any] = {
@@ -66,12 +69,19 @@ def to_dict(obj: "TaskChain | Platform | Mapping") -> dict[str, Any]:
             "replicas": [list(r) for r in obj.replicas],
         }
     else:
-        raise TypeError(f"cannot serialize {type(obj).__name__}")
+        # Deferred import: repro.scenarios is a higher layer (its spec
+        # codec calls back into this module's content_hash).
+        from repro.scenarios.spec import ScenarioSpec
+
+        if isinstance(obj, ScenarioSpec):
+            payload = obj.to_dict()
+        else:
+            raise TypeError(f"cannot serialize {type(obj).__name__}")
     payload["repro_format"] = FORMAT_VERSION
     return payload
 
 
-def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping":
+def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping | Any":
     """Decode an object produced by :func:`to_dict`."""
     if not isinstance(payload, dict) or "type" not in payload:
         raise ValueError("payload is not a repro object (missing 'type')")
@@ -100,6 +110,10 @@ def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping":
             for (a, b), procs in zip(payload["intervals"], payload["replicas"])
         ]
         return Mapping(chain, platform, assignment)
+    if kind == "ScenarioSpec":
+        from repro.scenarios.spec import spec_from_payload
+
+        return spec_from_payload(payload)
     raise ValueError(f"unknown object type {kind!r}")
 
 
@@ -131,11 +145,11 @@ def content_hash(*payloads: Any) -> str:
     return digest.hexdigest()
 
 
-def dumps(obj: "TaskChain | Platform | Mapping", **json_kwargs: Any) -> str:
+def dumps(obj: "TaskChain | Platform | Mapping | Any", **json_kwargs: Any) -> str:
     """Serialize to a JSON string."""
     return json.dumps(to_dict(obj), **json_kwargs)
 
 
-def loads(text: str) -> "TaskChain | Platform | Mapping":
+def loads(text: str) -> "TaskChain | Platform | Mapping | Any":
     """Deserialize from a JSON string."""
     return from_dict(json.loads(text))

@@ -26,14 +26,23 @@ __all__ = ["MonteCarloEstimate", "estimate_log_reliability", "wilson_interval"]
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
-    """Wilson score interval for a binomial proportion."""
+    """Wilson score interval for a binomial proportion.
+
+    The boundary cases pin their exact endpoint: all-successes returns
+    an upper bound of exactly 1.0 (the float arithmetic otherwise lands
+    at 1 - 1ulp, which would spuriously exclude a true proportion of
+    1.0 — e.g. an analytical reliability within 1e-18 of certainty),
+    and symmetrically all-failures returns a lower bound of exactly 0.
+    """
     if trials <= 0:
         raise ValueError("trials must be > 0")
     phat = successes / trials
     denom = 1 + z * z / trials
     center = (phat + z * z / (2 * trials)) / denom
     half = z * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials)) / denom
-    return max(0.0, center - half), min(1.0, center + half)
+    lo = 0.0 if successes == 0 else max(0.0, center - half)
+    hi = 1.0 if successes == trials else min(1.0, center + half)
+    return lo, hi
 
 
 @dataclass(frozen=True)

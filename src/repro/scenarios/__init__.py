@@ -1,0 +1,86 @@
+"""Declarative scenario/workload subsystem.
+
+The paper evaluates exactly two workloads (Section 8.1 homogeneous,
+Section 8.2 heterogeneous-with-counterpart).  This package turns
+workloads into *data*: a validated, serializable
+:class:`~repro.scenarios.spec.ScenarioSpec` describes an instance
+ensemble — dimensions, sweep axes, and one draw distribution per field
+— and a registry of named scenarios mirrors the method registry, so
+the sweep harness, the cross-check, the cache, and the CLI can all
+address workloads by name.
+
+Layers
+------
+* :mod:`repro.scenarios.distributions` — draw recipes (uniform,
+  loguniform, lognormal, bimodal, work-correlated, hot-spare);
+* :mod:`repro.scenarios.spec` — the :class:`ScenarioSpec` dataclass,
+  dict/JSON/TOML codec, and content hashing;
+* :mod:`repro.scenarios.registry` — ``register_scenario`` /
+  ``get_scenario`` with capability metadata (``homogeneous`` gates the
+  Section 5 exact methods);
+* :mod:`repro.scenarios.builtin` — the Section 8 suites re-expressed as
+  specs plus five new workload families;
+* :mod:`repro.scenarios.generate` — per-instance (legacy-bit-identical)
+  and batched (vectorized) ensemble generation.
+
+Quickstart
+----------
+>>> from repro.scenarios import generate_instances, get_scenario
+>>> chain, platform = generate_instances("section8-hom", n_instances=1)[0]
+>>> chain.n, platform.p
+(15, 10)
+>>> get_scenario("section8-hom").homogeneous
+True
+"""
+
+from repro.scenarios.distributions import (
+    Bimodal,
+    Constant,
+    Correlated,
+    Distribution,
+    HotSpare,
+    LogNormal,
+    LogUniform,
+    Uniform,
+    distribution_from_value,
+)
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    load_spec,
+    scenario_hash,
+    spec_from_dict,
+    spec_is_homogeneous,
+)
+from repro.scenarios.registry import (
+    SCENARIOS,
+    Scenario,
+    UnknownScenarioError,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios.generate import generate_instances, resolve_scenario
+from repro.scenarios import builtin as _builtin  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "Distribution",
+    "Constant",
+    "Uniform",
+    "LogUniform",
+    "LogNormal",
+    "Bimodal",
+    "Correlated",
+    "HotSpare",
+    "distribution_from_value",
+    "ScenarioSpec",
+    "load_spec",
+    "scenario_hash",
+    "spec_from_dict",
+    "spec_is_homogeneous",
+    "SCENARIOS",
+    "Scenario",
+    "UnknownScenarioError",
+    "get_scenario",
+    "register_scenario",
+    "generate_instances",
+    "resolve_scenario",
+]

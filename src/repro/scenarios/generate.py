@@ -1,0 +1,229 @@
+"""Ensemble generation from scenario specs.
+
+Two RNG modes, one contract each:
+
+``per-instance`` (default)
+    ``spawn`` one child stream per instance off the master seed and
+    draw each instance's fields from its own stream in the legacy
+    order: work, then output, then speeds, then failure rates —
+    constant distributions consume nothing.  This reproduces
+    :func:`repro.experiments.instances.homogeneous_suite` /
+    :func:`~repro.experiments.instances.heterogeneous_suite` **bit for
+    bit** for the ``section8-*`` specs (checked by
+    ``tests/test_scenarios.py``), and extending ``n_instances`` never
+    changes earlier instances.
+
+``batched``
+    ``spawn`` one stream per *field* (work, output, speed, rate — in
+    that fixed order) and draw whole ``(n_instances, n_tasks)`` /
+    ``(n_instances, p)`` matrices in single numpy calls, then assemble
+    objects in one cheap pass.  Several times faster for
+    thousand-instance ensembles (``benchmarks/
+    bench_scenario_generation.py`` measures the gap); the per-instance
+    prefix property does not hold.
+
+Sweep-axis specs expand into their concrete variants first
+(:meth:`~repro.scenarios.spec.ScenarioSpec.variants`); each variant
+gets an independent seed derived via :func:`repro.util.rng.stable_seed`
+(a spec with no axes passes the caller's seed straight through, which
+is what keeps the Section 8 re-expressions seed-compatible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chain import TaskChain
+from repro.core.platform import Platform
+from repro.scenarios.distributions import Constant
+from repro.scenarios.registry import Scenario, get_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.util.rng import ensure_rng, spawn, stable_seed
+
+__all__ = ["generate_instances", "resolve_scenario"]
+
+
+def resolve_scenario(
+    scenario: "str | ScenarioSpec | Scenario",
+) -> "tuple[ScenarioSpec, Scenario | None]":
+    """Normalize a scenario argument to ``(spec, registry entry or None)``.
+
+    Accepts a registry name, a bare :class:`ScenarioSpec` (e.g. loaded
+    from a file), or a :class:`Scenario`.  Unknown names raise
+    :class:`~repro.scenarios.registry.UnknownScenarioError`.
+    """
+    if isinstance(scenario, str):
+        entry = get_scenario(scenario)
+        return entry.spec, entry
+    if isinstance(scenario, Scenario):
+        return scenario.spec, scenario
+    if isinstance(scenario, ScenarioSpec):
+        return scenario, None
+    raise TypeError(
+        f"scenario must be a registry name, ScenarioSpec, or Scenario, "
+        f"got {type(scenario).__name__}"
+    )
+
+
+def generate_instances(
+    scenario: "str | ScenarioSpec | Scenario",
+    n_instances: "int | None" = None,
+    seed: int = 0,
+) -> list:
+    """Generate the ensemble described by *scenario*.
+
+    Returns ``(chain, platform)`` tuples for plain specs, or
+    :class:`~repro.experiments.instances.HetInstancePair` records for
+    paired specs (``hom_counterpart_speed`` set) — the shapes the sweep
+    harness and the het experiments already consume.  Sweep-axis specs
+    return the concatenation of all variants, ``n_instances`` each, in
+    variant order.
+    """
+    spec, _ = resolve_scenario(scenario)
+    if n_instances is not None:
+        spec = spec.with_(n_instances=n_instances)
+    variants = spec.variants()
+    if len(variants) == 1:
+        return _generate_concrete(variants[0], seed)
+    out: list = []
+    for vi, sub in enumerate(variants):
+        out.extend(_generate_concrete(sub, stable_seed("scenario-variant", seed, vi)))
+    return out
+
+
+def _hom_counterpart(spec: ScenarioSpec) -> "Platform | None":
+    if not spec.paired:
+        return None
+    return Platform.homogeneous_platform(
+        spec.p,
+        speed=float(spec.hom_counterpart_speed),
+        failure_rate=_constant_rate(spec),
+        bandwidth=spec.bandwidth,
+        link_failure_rate=spec.link_failure_rate,
+        max_replication=spec.K,
+    )
+
+
+def _constant_rate(spec: ScenarioSpec) -> float:
+    """The counterpart platform's failure rate.
+
+    Section 8.2 keeps ``lambda_u`` constant; any other regime (even a
+    deterministic one like hot-spare) has no single rate the
+    homogeneous counterpart could honestly carry, so paired specs
+    require a :class:`~repro.scenarios.distributions.Constant`.
+    """
+    if not isinstance(spec.proc_failure, Constant):
+        raise ValueError(
+            f"paired scenario {spec.name!r} needs a constant proc_failure "
+            f"regime for the homogeneous counterpart, got "
+            f"{spec.proc_failure.kind!r}"
+        )
+    return float(spec.proc_failure.value)
+
+
+def _shared_platform(spec: ScenarioSpec) -> "Platform | None":
+    """One Platform for the whole ensemble when nothing platform-side is
+    stochastic (matches the legacy suites, which build it once)."""
+    if spec.speed.stochastic or spec.proc_failure.stochastic:
+        return None
+    speeds = spec.speed.draw(np.random.default_rng(0), spec.p)
+    rates = spec.proc_failure.draw(np.random.default_rng(0), spec.p)
+    return Platform(
+        speeds=speeds,
+        failure_rates=rates,
+        bandwidth=spec.bandwidth,
+        link_failure_rate=spec.link_failure_rate,
+        max_replication=spec.K,
+    )
+
+
+def _pair_type():
+    # Lazy: repro.experiments imports the harness (which imports
+    # repro.io, which lazily imports this package) — a module-level
+    # import here would close an import cycle during package init.
+    from repro.experiments.instances import HetInstancePair
+
+    return HetInstancePair
+
+
+def _generate_concrete(spec: ScenarioSpec, seed: int) -> list:
+    """Generate one concrete (scalar-axis) variant's ensemble."""
+    if spec.rng_mode == "per-instance":
+        return _generate_per_instance(spec, seed)
+    return _generate_batched(spec, seed)
+
+
+def _generate_per_instance(spec: ScenarioSpec, seed: int) -> list:
+    master = ensure_rng(seed)
+    streams = spawn(master, spec.n_instances)
+    n, p = spec.n_tasks, spec.p
+    shared = _shared_platform(spec)
+    hom = _hom_counterpart(spec)
+    pair_cls = _pair_type() if spec.paired else None
+
+    out: list = []
+    for rng in streams:
+        # Legacy draw order: work, output (chain), then platform fields.
+        work = spec.work.draw(rng, n)
+        if hasattr(spec.output, "draw_given"):
+            output = spec.output.draw_given(rng, work)
+        else:
+            output = spec.output.draw(rng, n)
+        output[-1] = 0.0
+        chain = TaskChain(work=work, output=output)
+        if shared is not None:
+            platform = shared
+        else:
+            speeds = spec.speed.draw(rng, p)
+            rates = spec.proc_failure.draw(rng, p)
+            platform = Platform(
+                speeds=speeds,
+                failure_rates=rates,
+                bandwidth=spec.bandwidth,
+                link_failure_rate=spec.link_failure_rate,
+                max_replication=spec.K,
+            )
+        if pair_cls is not None:
+            out.append(pair_cls(chain, platform, hom))
+        else:
+            out.append((chain, platform))
+    return out
+
+
+def _generate_batched(spec: ScenarioSpec, seed: int) -> list:
+    master = ensure_rng(seed)
+    # One stream per field, spawned in fixed order — n_instances does
+    # not influence the spawn, only how much each stream is consumed.
+    work_rng, out_rng, speed_rng, rate_rng = spawn(master, 4)
+    m, n, p = spec.n_instances, spec.n_tasks, spec.p
+
+    work = spec.work.draw(work_rng, (m, n))
+    if hasattr(spec.output, "draw_given"):
+        output = spec.output.draw_given(out_rng, work)
+    else:
+        output = spec.output.draw(out_rng, (m, n))
+    output[:, -1] = 0.0
+
+    shared = _shared_platform(spec)
+    if shared is None:
+        speeds = spec.speed.draw(speed_rng, (m, p))
+        rates = spec.proc_failure.draw(rate_rng, (m, p))
+        platforms = [
+            Platform(
+                speeds=s,
+                failure_rates=r,
+                bandwidth=spec.bandwidth,
+                link_failure_rate=spec.link_failure_rate,
+                max_replication=spec.K,
+            )
+            for s, r in zip(speeds, rates)
+        ]
+    else:
+        platforms = [shared] * m
+
+    chains = [TaskChain(work=w, output=o) for w, o in zip(work, output)]
+    if spec.paired:
+        hom = _hom_counterpart(spec)
+        pair_cls = _pair_type()
+        return [pair_cls(c, plat, hom) for c, plat in zip(chains, platforms)]
+    return list(zip(chains, platforms))

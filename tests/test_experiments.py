@@ -67,6 +67,44 @@ class TestInstances:
             # Same chain against both platforms.
             assert pair.chain.n == 15
 
+    def test_heterogeneous_pair_invariants(self):
+        """Section 8.2's pairing contract: the homogeneous counterpart
+        re-runs the *exact same chain* on a constant speed-5 platform
+        with the same lambda_u = 1e-8 everywhere."""
+        pairs = heterogeneous_suite(n_instances=5, seed=17)
+        for pair in pairs:
+            # One chain serves both platforms, and it follows the same
+            # Section 8 cost distributions as the homogeneous suite.
+            assert set(pair.__dataclass_fields__) == {
+                "chain", "het_platform", "hom_platform"
+            }
+            assert np.all((pair.chain.work >= 1) & (pair.chain.work <= 100))
+            assert np.all(pair.chain.output[:-1] <= 10) and pair.chain.output[-1] == 0.0
+            # Constant speed 5 across the whole counterpart platform.
+            assert np.all(pair.hom_platform.speeds == 5.0)
+            # lambda_u stays 1e-8 on BOTH platforms (speed is the only
+            # source of heterogeneity in Section 8.2).
+            assert np.all(pair.het_platform.failure_rates == 1e-8)
+            assert np.all(pair.hom_platform.failure_rates == 1e-8)
+            # The pair shares every remaining platform parameter.
+            for plat in (pair.het_platform, pair.hom_platform):
+                assert plat.p == 10
+                assert plat.bandwidth == 1.0
+                assert plat.link_failure_rate == 1e-5
+                assert plat.max_replication == 3
+
+    def test_heterogeneous_counterpart_shared_across_pairs(self):
+        """One speed-5 platform serves the whole suite (equal for all
+        pairs), so truncating the suite never changes it."""
+        pairs = heterogeneous_suite(n_instances=3, seed=8)
+        assert all(p.hom_platform == pairs[0].hom_platform for p in pairs)
+        longer = heterogeneous_suite(n_instances=5, seed=8)
+        assert longer[0].hom_platform == pairs[0].hom_platform
+        # And the chains it reuses are the het chains, element-wise.
+        for short, long in zip(pairs, longer):
+            assert short.chain == long.chain
+            assert short.het_platform == long.het_platform
+
 
 class TestMethods:
     def test_registry(self):

@@ -68,6 +68,23 @@ class TestSerialization:
         assert payload["replicas"] == [[0, 1], [2]]
 
 
+#: Every subcommand path (including nested ones) — each must have a
+#: working --help.
+HELP_PATHS = [
+    [],
+    ["solve"],
+    ["evaluate"],
+    ["simulate"],
+    ["figures"],
+    ["experiment"],
+    ["scenario"],
+    ["scenario", "list"],
+    ["scenario", "show"],
+    ["scenario", "run"],
+    ["demo"],
+]
+
+
 class TestCLI:
     def test_parser_commands(self):
         parser = build_parser()
@@ -78,6 +95,13 @@ class TestCLI:
                  ([cmd, "fig6"] if cmd == "figures" else [cmd]))
             )
             assert args.command == cmd
+
+    @pytest.mark.parametrize("path", HELP_PATHS, ids=lambda p: " ".join(p) or "root")
+    def test_every_subcommand_help_exits_zero(self, path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*path, "--help"])
+        assert excinfo.value.code == 0
+        assert "usage" in capsys.readouterr().out.lower()
 
     def test_solve_roundtrip(self, tmp_path, chain, capsys):
         hom = Platform.homogeneous_platform(
@@ -162,3 +186,44 @@ class TestCLI:
             ["demo", "--tasks", "5", "--processors", "4", "--heterogeneous"]
         ) == 0
         assert "heuristic" in capsys.readouterr().out
+
+
+class TestScenarioCLI:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "section8-hom" in out and "scaling-stress" in out
+
+    def test_scenario_show_roundtrips(self, capsys):
+        assert main(["scenario", "show", "section8-hom"]) == 0
+        decoded = loads(capsys.readouterr().out)
+        from repro.scenarios import get_scenario
+
+        assert decoded == get_scenario("section8-hom").spec
+
+    def test_scenario_run_registered(self, capsys):
+        assert main(["scenario", "run", "section8-hom", "--n-instances", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 instances" in out and "heur-l" in out and "pareto-dp" in out
+
+    def test_scenario_run_spec_file_roundtrip(self, tmp_path, capsys):
+        """A spec written through io.py runs straight from the file."""
+        from repro.scenarios import get_scenario
+
+        spec = get_scenario("hot-spare").spec.with_(
+            name="tiny-spare", n_instances=2, n_tasks=6, p=4
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(dumps(spec, indent=2))
+        assert loads(path.read_text()) == spec  # io round-trip
+        assert main(["scenario", "run", str(path), "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny-spare" in out and "2 instances" in out
+
+    def test_scenario_run_unknown(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenario", "run", "no-such-workload"])
+
+    def test_scenario_show_unknown(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["scenario", "show", "no-such-workload"])

@@ -383,6 +383,17 @@ class TestMonteCarlo:
         with pytest.raises(ValueError):
             wilson_interval(1, 0)
 
+    def test_wilson_interval_boundary_endpoints_exact(self):
+        """All-successes must cover a true proportion of exactly 1.0
+        (float rounding used to land the upper bound at 1 - 1ulp and
+        spuriously flag near-certain reliabilities as outliers)."""
+        from repro.rbd.montecarlo import wilson_interval
+
+        lo, hi = wilson_interval(1500, 1500)
+        assert hi == 1.0 and lo < 1.0
+        lo, hi = wilson_interval(0, 1500)
+        assert lo == 0.0 and hi > 0.0
+
     def test_no_blocks_direct_edge(self):
         rbd = RBD()
         rbd.graph.add_edge(SOURCE, DEST)
