@@ -1,0 +1,85 @@
+"""Overhead of the Problem/solve() facade vs direct algorithm calls.
+
+The :mod:`repro.solve` redesign routes every solve through three extra
+layers — :class:`~repro.solve.Problem` construction, registry lookup +
+capability checks in :func:`~repro.solve.solve`, and the canonical
+dual-entry wrapper around each method's callable.  This bench measures
+each layer on a paper-sized instance (15 tasks x 10 processors) and
+asserts the stack adds only a small fraction on top of the underlying
+heuristic solve, plus reports the planner's one-off cost (amortized
+over a whole sweep, not paid per solve).
+"""
+
+import time
+
+from repro.algorithms import heuristic_best
+from repro.experiments import get_method
+from repro.scenarios import generate_instances, get_scenario
+from repro.solve import Problem, plan_methods, solve
+from benchmarks.conftest import emit
+
+ROUNDS = 30
+BATCH = 10
+P, L = 250.0, 750.0
+
+
+def _time_interleaved(fns: dict) -> dict:
+    """Per-call seconds for each labelled thunk, measured in alternating
+    batches so CPU frequency drift hits every path equally."""
+    for fn in fns.values():  # warm-up (imports, caches)
+        fn()
+    totals = dict.fromkeys(fns, 0.0)
+    for _ in range(ROUNDS):
+        for label, fn in fns.items():
+            t0 = time.perf_counter()
+            for _ in range(BATCH):
+                fn()
+            totals[label] += time.perf_counter() - t0
+    return {label: total / (ROUNDS * BATCH) for label, total in totals.items()}
+
+
+def test_facade_overhead_is_negligible(benchmark):
+    chain, platform = generate_instances(
+        get_scenario("section8-hom").spec.with_(n_instances=1), seed=3
+    )[0]
+    problem = Problem(chain, platform, max_period=P, max_latency=L)
+    method = get_method("heur-l")
+
+    timed = _time_interleaved({
+        "direct": lambda: heuristic_best(
+            chain, platform, max_period=P, max_latency=L,
+            which="heur-l", selection="feasible-best",
+        ),
+        "method": lambda: method.solve_problem(problem),
+        "facade": lambda: solve(problem, method="heur-l"),
+    })
+    direct, via_method, via_facade = timed["direct"], timed["method"], timed["facade"]
+    construct = _time_interleaved(
+        {"c": lambda: Problem(chain, platform, max_period=P, max_latency=L)}
+    )["c"]
+    plan = _time_interleaved({"p": lambda: plan_methods("section8-hom")})["p"]
+
+    emit()
+    emit(f"solve facade overhead ({chain.n} tasks x {platform.p} procs, "
+         f"{ROUNDS} rounds)")
+    emit("path                         per call")
+    for label, secs in (
+        ("direct heuristic_best", direct),
+        ("Method.solve_problem", via_method),
+        ("solve(problem, method=...)", via_facade),
+        ("Problem construction", construct),
+        ("plan_methods (per sweep)", plan),
+    ):
+        emit(f"{label:27s} {secs * 1e6:9.1f} us")
+    emit(f"facade overhead vs direct: {(via_facade - direct) / direct * 100:+.2f}%")
+
+    # "Negligible": the whole facade stack (Problem + registry lookup +
+    # wrapper + capability check) must stay a small fraction of one
+    # heuristic solve.  25% is a very generous ceiling for CI noise —
+    # typical overhead is well under 5%.
+    assert via_facade - direct < 0.25 * direct
+    assert via_method - direct < 0.25 * direct
+    # Problem construction is micro-scale, orders below a solve.
+    assert construct < 0.1 * direct
+
+    benchmark(lambda: solve(problem, method="heur-l"))

@@ -11,14 +11,10 @@ Run:  python examples/quickstart.py
 from repro import (
     Platform,
     TaskChain,
-    brute_force_best,
-    evaluate_mapping,
-    heuristic_best,
-    ilp_best,
     optimize_reliability,
     optimize_reliability_period,
-    pareto_dp_best,
 )
+from repro.solve import Problem, solve
 
 # ---------------------------------------------------------------------------
 # 1. The application: a chain of 6 tasks (work, output-data-size pairs).
@@ -75,24 +71,18 @@ describe(
     optimize_reliability_period(chain, platform, max_period=MAX_PERIOD),
 )
 
-# Tri-criteria exact optima: the Section 5.4 ILP and our Pareto DP agree.
-describe(
-    "ILP (rel | period+latency)",
-    ilp_best(chain, platform, max_period=MAX_PERIOD, max_latency=MAX_LATENCY),
-)
-describe(
-    "Pareto DP (exact)",
-    pareto_dp_best(chain, platform, max_period=MAX_PERIOD, max_latency=MAX_LATENCY),
-)
+# ---------------------------------------------------------------------------
+# 3. Tri-criteria solves go through the unified Problem/solve() API:
+#    one frozen Problem, any registered method by name.
+# ---------------------------------------------------------------------------
+problem = Problem(chain, platform, max_period=MAX_PERIOD, max_latency=MAX_LATENCY)
 
-# The polynomial heuristics of Section 7.
-describe(
-    "Heur-P + Heur-L (best)",
-    heuristic_best(chain, platform, max_period=MAX_PERIOD, max_latency=MAX_LATENCY),
-)
+# Exact optima: the Section 5.4 ILP and our Pareto DP agree.
+describe("ILP (rel | period+latency)", solve(problem, method="ilp"))
+describe("Pareto DP (exact)", solve(problem, method="pareto-dp"))
+
+# The polynomial heuristics of Section 7 ("heuristic" runs both).
+describe("Heur-P + Heur-L (best)", solve(problem, method="heuristic"))
 
 # On an instance this small, brute force can confirm everything.
-describe(
-    "brute force (oracle)",
-    brute_force_best(chain, platform, max_period=MAX_PERIOD, max_latency=MAX_LATENCY),
-)
+describe("brute force (oracle)", solve(problem, method="brute-force"))

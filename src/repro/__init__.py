@@ -47,8 +47,12 @@ from repro.algorithms import (
     pareto_dp_best,
     ilp_best,
 )
+# Problem is re-exported at top level; the solve() facade stays at
+# repro.solve.solve so the name `repro.solve` keeps meaning the package
+# (exporting the function here would shadow the submodule attribute).
+from repro.solve import Problem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TaskChain",
@@ -70,5 +74,6 @@ __all__ = [
     "brute_force_best",
     "pareto_dp_best",
     "ilp_best",
+    "Problem",
     "__version__",
 ]

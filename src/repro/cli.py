@@ -29,11 +29,24 @@ Commands
     re-loadable JSON, and ``scenario run NAME_OR_FILE`` generates the
     ensemble and sweeps it through the harness (same ``--jobs`` /
     ``--cache-dir`` knobs as ``experiment``; spec files may be JSON or
-    TOML).
+    TOML).  Methods default to the scenario-aware planner's selection
+    (:mod:`repro.solve`); ``--grid auto`` replaces the single
+    hand-picked (P, L) point with a quantile-derived multi-point grid
+    (:func:`repro.solve.derive_bounds_grid`) and prints paper-style
+    per-method curves.  Every run writes a self-describing JSON
+    manifest (``--manifest``) recording the scenario spec hash and
+    ``describe()`` record, the plan (selected methods plus skip
+    reasons), the derived grid, and the per-method series.
+``plan``
+    The scenario-aware solver planner: ``plan show NAME_OR_FILE``
+    prints which registered methods the planner selects for a
+    workload, in execution order, and why it skipped the rest.
 ``demo``
     Solve a seeded random instance end to end — no files needed.
 
-All inputs/outputs use the :mod:`repro.io` JSON format.
+All inputs/outputs use the :mod:`repro.io` JSON format; single-instance
+solves go through :func:`repro.solve.solve` on a
+:class:`repro.solve.Problem`.
 """
 
 from __future__ import annotations
@@ -45,26 +58,17 @@ import pathlib
 import sys
 
 from repro import __version__
-from repro.algorithms import (
-    brute_force_best,
-    heuristic_best,
-    ilp_best,
-    optimize_reliability,
-    pareto_dp_best,
-)
 from repro.core import Platform, TaskChain, evaluate_mapping, random_chain, random_platform
 from repro.core.mapping import Mapping
 from repro.io import dumps, loads
+from repro.solve import Problem, solve
 
 __all__ = ["main", "build_parser"]
 
-METHOD_DISPATCH = {
-    "auto": None,
-    "ilp": lambda c, p, P, L: ilp_best(c, p, max_period=P, max_latency=L),
-    "pareto-dp": lambda c, p, P, L: pareto_dp_best(c, p, max_period=P, max_latency=L),
-    "heuristic": lambda c, p, P, L: heuristic_best(c, p, max_period=P, max_latency=L),
-    "brute-force": lambda c, p, P, L: brute_force_best(c, p, max_period=P, max_latency=L),
-}
+#: Method choices for ``repro solve`` — all registry names now, with
+#: "auto" resolved by the facade (exact on homogeneous platforms,
+#: heuristics otherwise).
+SOLVE_METHODS = ("auto", "ilp", "pareto-dp", "heuristic", "brute-force")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -82,7 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--max-latency", type=float, default=math.inf)
     solve.add_argument(
         "--method",
-        choices=sorted(METHOD_DISPATCH),
+        choices=sorted(SOLVE_METHODS),
         default="auto",
         help="'auto' = exact on homogeneous platforms, heuristics otherwise",
     )
@@ -157,14 +161,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="override the spec's instance count")
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--methods", nargs="+", default=None, metavar="METHOD",
-                     help="registered methods to sweep (default: heuristics, "
-                     "plus pareto-dp on homogeneous scenarios)")
+                     help="registered methods to sweep (default: the planner's "
+                     "scenario-aware selection; see 'repro plan show')")
+    run.add_argument("--grid", choices=("point", "auto"), default="point",
+                     help="'point' sweeps the single --max-period/--max-latency "
+                     "point; 'auto' derives a quantile (P, L) grid from "
+                     "unbounded heuristic solves over the ensemble")
+    run.add_argument("--grid-points", type=int, default=8,
+                     help="grid points per axis for --grid auto (default 8)")
+    run.add_argument("--grid-axis", choices=("period", "latency"), default="period",
+                     help="which bound --grid auto sweeps (default period)")
     run.add_argument("--max-period", type=float, default=math.inf)
     run.add_argument("--max-latency", type=float, default=math.inf)
     run.add_argument("--jobs", type=int, default=None,
                      help="worker processes (default $REPRO_JOBS or 1)")
     run.add_argument("--cache-dir", type=pathlib.Path, default=None,
                      help="result cache directory (default $REPRO_CACHE_DIR)")
+    run.add_argument("--manifest", type=pathlib.Path,
+                     default=pathlib.Path("repro-scenario-manifest.json"),
+                     help="where to write the self-describing run manifest JSON")
+
+    plan = sub.add_parser(
+        "plan", help="scenario-aware method planning (show)"
+    )
+    psub = plan.add_subparsers(dest="plan_cmd", required=True)
+    pshow = psub.add_parser(
+        "show",
+        help="show which methods the planner selects for a scenario, and why "
+        "the rest were skipped",
+    )
+    pshow.add_argument(
+        "scenario",
+        help="registered scenario name, or a path to a spec file (.json/.toml)",
+    )
+    pshow.add_argument("--methods", nargs="+", default=None, metavar="METHOD",
+                       help="explicit candidates (default: the whole registry)")
+    pshow.add_argument("--max-exact-tasks", type=int, default=None,
+                       help="size threshold past which exact methods are skipped")
+    pshow.add_argument("--max-exact-procs", type=int, default=None,
+                       help="processor threshold past which exact methods are skipped")
+    pshow.add_argument("--include-stochastic", action="store_true",
+                       help="auto-select stochastic (seeded) methods too")
+    pshow.add_argument("--json", action="store_true",
+                       help="print the plan as JSON instead of a table")
 
     demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
     demo.add_argument("--tasks", type=int, default=10)
@@ -197,10 +236,13 @@ def _print_solution(result) -> None:
 def _cmd_solve(args) -> int:
     chain = _load(args.chain, TaskChain)
     platform = _load(args.platform, Platform)
-    method = args.method
-    if method == "auto":
-        method = "pareto-dp" if platform.homogeneous else "heuristic"
-    result = METHOD_DISPATCH[method](chain, platform, args.max_period, args.max_latency)
+    problem = Problem(
+        chain, platform, max_period=args.max_period, max_latency=args.max_latency
+    )
+    try:
+        result = solve(problem, method=args.method)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     _print_solution(result)
     if result.feasible and args.output:
         args.output.write_text(dumps(result.mapping, indent=2))
@@ -326,6 +368,11 @@ def _cmd_experiment(args) -> int:
                 ),
                 "n_points": int(exp.xs.size),
                 "seconds": round(elapsed, 3),
+                # The declarative workload behind the run, so the
+                # manifest is self-describing: spec content hash (the
+                # cache-key scenario component) plus the registry-style
+                # describe() record.
+                "scenario": _scenario_record(exp.scenario_spec, exp.scenario_key),
             }
         )
         if not args.quiet:
@@ -339,6 +386,29 @@ def _cmd_experiment(args) -> int:
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses, {cache.puts} writes")
     return 0
+
+
+def _scenario_record(spec, spec_hash: "str | None", entry=None) -> "dict | None":
+    """Self-describing manifest record for a scenario spec (or None).
+
+    *entry* (the registry :class:`~repro.scenarios.registry.Scenario`,
+    when the spec came from one) contributes its capability metadata
+    and tags; bare specs fall back to the derived homogeneity check.
+    """
+    if spec is None:
+        return None
+    from repro.scenarios import Scenario, spec_is_homogeneous
+
+    scenario = Scenario(
+        spec=spec,
+        homogeneous=entry.homogeneous if entry is not None else spec_is_homogeneous(spec),
+        tags=entry.tags if entry is not None else (),
+    )
+    return {
+        "name": spec.name,
+        "spec_hash": spec_hash,
+        "describe": scenario.describe(),
+    }
 
 
 def _resolve_scenario_token(token: str):
@@ -371,13 +441,7 @@ def _resolve_scenario_token(token: str):
 
 def _cmd_scenario(args) -> int:
     from repro.experiments.harness import run_sweep
-    from repro.experiments.methods import get_method
-    from repro.scenarios import (
-        SCENARIOS,
-        generate_instances,
-        scenario_hash,
-        spec_is_homogeneous,
-    )
+    from repro.scenarios import SCENARIOS, generate_instances, scenario_hash
 
     if args.scenario_cmd == "list":
         header = f"{'name':20s} {'inst':>5s} {'tasks':>9s} {'procs':>7s} {'mode':>12s}  hom pair  tags"
@@ -407,7 +471,13 @@ def _cmd_scenario(args) -> int:
         return 0
 
     # scenario run
+    import platform as _platform
     import time
+
+    import numpy as np
+
+    from repro.experiments.cache import resolve_cache
+    from repro.solve import Planner, derive_bounds_grid, encode_bound
 
     spec, entry = _resolve_scenario_token(args.scenario)
     if args.n_instances is not None:
@@ -415,13 +485,23 @@ def _cmd_scenario(args) -> int:
             spec = spec.with_(n_instances=args.n_instances)
         except ValueError as exc:
             raise SystemExit(str(exc))
-    homogeneous = entry.homogeneous if entry is not None else spec_is_homogeneous(spec)
-    if args.methods:
-        methods = [get_method(m) for m in args.methods]
-    else:
-        methods = [get_method("heur-l"), get_method("heur-p")]
-        if homogeneous:
-            methods.append(get_method("pareto-dp"))
+    spec_hash = scenario_hash(spec)
+
+    # The scenario-aware planner picks and orders the methods —
+    # explicitly requested ones still pass through its hard capability
+    # gates, so e.g. an exact solver on a heterogeneous scenario is
+    # skipped with a recorded reason instead of crashing the sweep.
+    plan = Planner().plan(
+        entry if entry is not None and entry.spec == spec else spec,
+        methods=args.methods,
+    )
+    for skip in plan.skipped:
+        if args.methods:
+            print(f"note: skipping {skip.method}: {skip.reason}", file=sys.stderr)
+    if not plan.selected:
+        reasons = "; ".join(f"{s.method}: {s.reason}" for s in plan.skipped)
+        raise SystemExit(f"no applicable methods for scenario {spec.name!r} ({reasons})")
+    methods = plan.methods()
 
     t0 = time.perf_counter()
     ensemble = generate_instances(spec, seed=args.seed)
@@ -433,31 +513,138 @@ def _cmd_scenario(args) -> int:
         f"({len(spec.variants())} variant(s)), generated in {gen_seconds:.3f}s"
         f"{paired_note}"
     )
+    print(f"plan: {', '.join(plan.selected)} "
+          f"({len(plan.skipped)} skipped; see 'repro plan show {args.scenario}')")
 
     if spec.paired:
         instances = [(pair.chain, pair.het_platform) for pair in ensemble]
     else:
         instances = ensemble
+
+    grid_record = None
+    if args.grid == "auto":
+        t0 = time.perf_counter()
+        try:
+            grid = derive_bounds_grid(
+                instances, n_points=args.grid_points, seed=args.seed
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        grid_seconds = time.perf_counter() - t0
+        bounds = grid.sweep(args.grid_axis)
+        xs = grid.xs(args.grid_axis)
+        grid_record = {"mode": "auto", "axis": args.grid_axis, **grid.describe()}
+        print(
+            f"derived {args.grid_axis} grid: {len(bounds)} points in "
+            f"[{xs[0]:g}, {xs[-1]:g}] "
+            f"(quantiles of unbounded {grid.method!r} solves, {grid_seconds:.3f}s)"
+        )
+    else:
+        bounds = [(args.max_period, args.max_latency)]
+        xs = None
+        grid_record = {
+            "mode": "point",
+            "max_period": encode_bound(args.max_period),
+            "max_latency": encode_bound(args.max_latency),
+        }
+
+    cache = resolve_cache(args.cache_dir)
     t0 = time.perf_counter()
     sweep = run_sweep(
         instances,
         methods,
-        [(args.max_period, args.max_latency)],
+        bounds,
+        xs=xs,
         jobs=args.jobs,
-        cache=args.cache_dir,
-        scenario_key=scenario_hash(spec),
+        cache=cache,
+        scenario_key=spec_hash,
     )
     sweep_seconds = time.perf_counter() - t0
-    print(
-        f"sweep point: period <= {args.max_period:g}, "
-        f"latency <= {args.max_latency:g} ({sweep_seconds:.3f}s)"
-    )
-    print(f"{'method':14s} {'solved':>8s}  avg failure (solved)")
-    for name in sweep.method_names:
-        count = int(sweep.counts(name)[0])
-        avg = sweep.average_failure(name, rule="per-method")[0]
-        avg_text = f"{avg:.3e}" if count else "-"
-        print(f"{name:14s} {count:>4d}/{n:<4d} {avg_text:>12s}")
+
+    if len(bounds) == 1:
+        P, L = bounds[0]
+        print(f"sweep point: period <= {P:g}, latency <= {L:g} ({sweep_seconds:.3f}s)")
+        print(f"{'method':14s} {'solved':>8s}  avg failure (solved)")
+        for name in sweep.method_names:
+            count = int(sweep.counts(name)[0])
+            avg = sweep.average_failure(name, rule="per-method")[0]
+            avg_text = f"{avg:.3e}" if count else "-"
+            print(f"{name:14s} {count:>4d}/{n:<4d} {avg_text:>12s}")
+    else:
+        from repro.experiments.figures import FigureResult
+        from repro.experiments.report import render_series_table
+
+        print(f"sweep: {len(bounds)} points x {len(methods)} methods ({sweep_seconds:.3f}s)")
+        for metric, series in (
+            ("count", {m: sweep.counts(m) for m in sweep.method_names}),
+            ("failure", {
+                m: sweep.average_failure(m, rule="per-method")
+                for m in sweep.method_names
+            }),
+        ):
+            what = "solutions" if metric == "count" else "avg failure (per-method)"
+            fig = FigureResult(
+                figure=what, experiment=spec.name, metric=metric,
+                xs=sweep.xs, series=series, n_instances=n, grid="auto",
+            )
+            print(f"\n{what} vs {args.grid_axis} bound:")
+            print(render_series_table(fig, x_label=args.grid_axis))
+
+    manifest = {
+        "command": "scenario-run",
+        "scenario": _scenario_record(spec, spec_hash, entry),
+        "seed": args.seed,
+        "n_instances": n,
+        "plan": plan.describe(),
+        "grid": grid_record,
+        "points": [[encode_bound(P), encode_bound(L)] for P, L in bounds],
+        "series": {
+            name: {
+                "counts": [int(c) for c in sweep.counts(name)],
+                "avg_failure": [
+                    None if np.isnan(v) else float(v)
+                    for v in sweep.average_failure(name, rule="per-method")
+                ],
+            }
+            for name in sweep.method_names
+        },
+        "seconds": {
+            "generate": round(gen_seconds, 3),
+            "sweep": round(sweep_seconds, 3),
+        },
+        "cache": cache.stats() if cache is not None else None,
+        "versions": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "python": _platform.python_version(),
+        },
+    }
+    args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+    print(f"\nwrote manifest {args.manifest}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.solve import Planner
+
+    spec, entry = _resolve_scenario_token(args.scenario)
+    config = {}
+    if args.max_exact_tasks is not None:
+        config["max_exact_tasks"] = args.max_exact_tasks
+    if args.max_exact_procs is not None:
+        config["max_exact_procs"] = args.max_exact_procs
+    if args.include_stochastic:
+        config["include_stochastic"] = True
+    try:
+        plan = Planner(**config).plan(
+            entry if entry is not None else spec, methods=args.methods
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    if args.json:
+        print(json.dumps(plan.describe(), indent=2))
+    else:
+        print(plan.summary())
     return 0
 
 
@@ -476,18 +663,12 @@ def _cmd_demo(args) -> int:
             max_replication=3,
         )
     print(f"instance: {chain}, {platform}")
-    ev_bounds = evaluate_mapping(
-        heuristic_best(chain, platform).mapping
-        if not platform.homogeneous
-        else optimize_reliability(chain, platform).mapping
-    )
+    base = Problem(chain, platform)
+    ev_bounds = solve(base).evaluation  # unbounded, method="auto"
     P = ev_bounds.worst_case_period * 1.2
     L = ev_bounds.worst_case_latency * 1.2
     print(f"derived bounds: period <= {P:g}, latency <= {L:g}\n")
-    if platform.homogeneous:
-        _print_solution(pareto_dp_best(chain, platform, max_period=P, max_latency=L))
-    else:
-        _print_solution(heuristic_best(chain, platform, max_period=P, max_latency=L))
+    _print_solution(solve(base.with_bounds(max_period=P, max_latency=L)))
     return 0
 
 
@@ -498,6 +679,7 @@ COMMANDS = {
     "figures": _cmd_figures,
     "experiment": _cmd_experiment,
     "scenario": _cmd_scenario,
+    "plan": _cmd_plan,
     "demo": _cmd_demo,
 }
 

@@ -7,7 +7,10 @@ Everything needed to regenerate Figures 6-15:
   homogeneous counterpart pairs);
 * :mod:`repro.experiments.methods` — a pluggable registry
   (:func:`register_method`) over the compared methods (ILP, Heur-L,
-  Heur-P, our exact Pareto DP, annealing) with capability metadata;
+  Heur-P, our exact Pareto DP, brute force, annealing) with capability
+  metadata; methods solve :class:`repro.solve.Problem` objects, and
+  the :func:`repro.solve.solve` facade / scenario-aware
+  :class:`repro.solve.Planner` sit on top of this registry;
 * :mod:`repro.experiments.harness` — parallel, cache-backed bound
   sweeps, solution counting, and the paper's two failure-probability
   averaging rules;

@@ -12,12 +12,16 @@ full bounds list::
 
     <cache_dir>/<key[:2]>/<key>.json
 
-where ``key = sha256(method name, chain, platform, bounds, seed,
-package version)`` via :func:`repro.io.content_hash` — stable across
-process restarts, and automatically invalidated when any ingredient
-(chain, platform, bounds, method identity, per-unit seed, repro
-release) changes, because a different key simply never matches.  Each
-entry holds::
+where ``key = sha256(method name, base Problem hash, per-point bound
+tokens, seed, package version)`` via :func:`repro.io.content_hash` — a
+unit is one method run over a family of :class:`repro.solve.Problem`
+objects (one per sweep point, sharing chain and platform), and the key
+is derived from the shared base problem's content hash plus each
+point's bounds.  Keys are stable across process restarts, and
+automatically invalidated when any ingredient (chain, platform,
+bounds, objective, method identity, per-unit seed, repro release)
+changes, because a different key simply never matches.  Each entry
+holds::
 
     {"repro_cache": 1, "method": ..., "n_points": ...,
      "solved": [...bools...], "failure": [...floats...]}
@@ -41,7 +45,6 @@ run manifest written by ``python -m repro experiment``.
 from __future__ import annotations
 
 import json
-import math
 import os
 import pathlib
 import tempfile
@@ -49,21 +52,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.chain import TaskChain
-from repro.core.platform import Platform
-from repro.io import content_hash, to_dict
+from repro.io import content_hash
+from repro.solve.problem import Problem, encode_bound
 
 __all__ = ["CACHE_FORMAT", "ResultCache", "resolve_cache"]
 
-CACHE_FORMAT = 1
-
-
-def _bound_token(value: float) -> "float | str":
-    """JSON-safe key token for a bound: finite floats pass through,
-    non-finite ones (an unbounded period is ``inf``) become strings so
-    canonical JSON (``allow_nan=False``) accepts them."""
-    value = float(value)
-    return value if math.isfinite(value) else repr(value)
+#: Bumped to 2 with the :mod:`repro.solve` redesign: keys are now
+#: derived from per-point Problem content hashes, so format-1 entries
+#: can never be addressed (or replayed) by the new keys.
+CACHE_FORMAT = 2
 
 
 class ResultCache:
@@ -92,14 +89,22 @@ class ResultCache:
     def unit_key(
         self,
         method_name: str,
-        chain: TaskChain,
-        platform: Platform,
-        bounds: Sequence[tuple[float, float]],
+        problems: Sequence[Problem],
         seed: "int | None" = None,
         fingerprint: "str | None" = None,
         scenario: "str | None" = None,
     ) -> str:
         """Content hash identifying one work unit's result.
+
+        A unit is one method run over a family of
+        :class:`~repro.solve.Problem` objects — one per sweep point,
+        sharing chain and platform.  The key is derived from the
+        problems' content: the shared *base* (chain + platform +
+        objective) is hashed once via
+        :meth:`~repro.solve.Problem.content_hash`, and each point
+        contributes its (P, L) bound tokens — so every ingredient is
+        covered without re-serializing the instance once per sweep
+        point.
 
         The package version and the method's implementation
         *fingerprint* (:meth:`Method.fingerprint`) are part of the
@@ -113,11 +118,12 @@ class ResultCache:
         key: two workloads that happen to generate an identical
         instance still keep separate entries, and editing a spec's
         generative fields can never replay arrays computed for the old
-        workload.  ``None`` (direct instance lists) leaves the key
-        exactly as in earlier releases, so existing caches stay valid.
+        workload.
         """
         from repro import __version__
 
+        if not problems:
+            raise ValueError("a work unit needs at least one Problem")
         ingredients = {
             "repro_cache": CACHE_FORMAT,
             "repro_version": __version__,
@@ -129,9 +135,11 @@ class ResultCache:
             ingredients["scenario"] = scenario
         return content_hash(
             ingredients,
-            to_dict(chain),
-            to_dict(platform),
-            [[_bound_token(P), _bound_token(L)] for P, L in bounds],
+            problems[0].unbounded().content_hash(),
+            [
+                [encode_bound(p.max_period), encode_bound(p.max_latency)]
+                for p in problems
+            ],
         )
 
     def _path(self, key: str) -> pathlib.Path:

@@ -36,15 +36,10 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.algorithms import (
-    brute_force_best,
-    heuristic_best,
-    ilp_best,
-    pareto_dp_best,
-)
 from repro.core import random_chain
 from repro.core.evaluation import mapping_log_reliability
 from repro.core.platform import Platform
@@ -56,7 +51,12 @@ from repro.rbd import (
     series_parallel_log_reliability,
 )
 from repro.simulation import simulate_mapping
+from repro.solve import Problem, solve
 from repro.util.rng import ensure_rng, spawn_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.registry import Scenario
+    from repro.scenarios.spec import ScenarioSpec
 
 __all__ = ["CrosscheckReport", "run_crosscheck"]
 
@@ -132,7 +132,7 @@ def _check_instance(
     if instance is not None:
         chain = from_dict(instance[0])
         platform = from_dict(instance[1])
-        reference = heuristic_best(chain, platform)
+        reference = solve(Problem(chain, platform), method="heuristic")
         if not reference.feasible:  # pragma: no cover - unbounded heur always maps
             record["details"].append("unbounded heuristic found no mapping")
             return record
@@ -150,14 +150,13 @@ def _check_instance(
         )
         P = float(rng.uniform(40, 400))
         L = float(rng.uniform(150, 900))
+    problem = Problem(chain, platform, max_period=P, max_latency=L)
 
     # --- exact solver agreement ---------------------------------
-    bf = brute_force_best(chain, platform, max_period=P, max_latency=L)
-    pd = pareto_dp_best(chain, platform, max_period=P, max_latency=L)
-    hi = ilp_best(chain, platform, max_period=P, max_latency=L)
-    bb = ilp_best(
-        chain, platform, max_period=P, max_latency=L, backend="branch-bound"
-    )
+    bf = solve(problem, method="brute-force")
+    pd = solve(problem, method="pareto-dp")
+    hi = solve(problem, method="ilp")
+    bb = solve(problem, method="ilp-bb")
     values = [bf, pd, hi, bb]
     if len({v.feasible for v in values}) != 1 or (
         bf.feasible
@@ -172,7 +171,7 @@ def _check_instance(
         return record
 
     # --- heuristic sanity -----------------------------------------
-    heur = heuristic_best(chain, platform, max_period=P, max_latency=L)
+    heur = solve(problem, method="heuristic")
     if heur.feasible and (
         not bf.feasible or heur.log_reliability > bf.log_reliability + 1e-12
     ):
@@ -212,26 +211,42 @@ def run_crosscheck(
     p: int = 4,
     simulate: bool = True,
     jobs: "int | None" = None,
-    scenario=None,
+    scenario: "str | ScenarioSpec | Scenario | None" = None,
 ) -> CrosscheckReport:
     """Run the full validation chain over a random instance population.
 
     Instance sizes default to brute-force-friendly values; every exact
-    method runs on every instance at randomized (P, L) bounds.  With
-    ``jobs > 1`` (or ``$REPRO_JOBS``) instances run in worker
-    processes; the report is identical to a serial run.
+    method solves the same :class:`~repro.solve.Problem` per instance,
+    at randomized (P, L) bounds, through the
+    :func:`repro.solve.solve` facade.  With ``jobs > 1`` (or
+    ``$REPRO_JOBS``) instances run in worker processes; the report is
+    identical to a serial run.
 
     Parameters
     ----------
     scenario:
-        Optional scenario name / :class:`~repro.scenarios.spec.
-        ScenarioSpec` / :class:`~repro.scenarios.registry.Scenario`.
-        Its *distributions* drive the population at this function's
-        brute-force-friendly sizes (``n_tasks``/``p`` override the
-        spec's dimensions, which would dwarf the exact solvers).  The
-        scenario must generate homogeneous platforms — the
-        ``homogeneous`` capability gate of the registry — because the
-        chain's exact solvers are Section 5 algorithms.
+        Optional scenario-driven population: a registered scenario
+        name, a bare :class:`~repro.scenarios.spec.ScenarioSpec` (e.g.
+        loaded from a file), or a registry
+        :class:`~repro.scenarios.registry.Scenario` — anything
+        :func:`repro.scenarios.resolve_scenario` accepts.  ``None``
+        (default) keeps this module's own uniform random population.
+
+        A scenario's *distributions* (work, output, speeds, failure
+        rates) drive the population at this function's
+        brute-force-friendly sizes: ``n_tasks``/``p`` override the
+        spec's dimensions, which would dwarf the exact solvers, and
+        sweep-axis specs are sampled evenly across their variants so
+        every regime retains coverage.  Per-instance (P, L) bounds are
+        derived from an unbounded heuristic solve, so they land in the
+        feasibility transition region regardless of the scenario's
+        cost scales.  The scenario must generate homogeneous platforms
+        (the registry's ``homogeneous`` capability gate, or
+        :func:`~repro.scenarios.spec.spec_is_homogeneous` for bare
+        specs): the chain's exact solvers are Section 5 algorithms,
+        and running them out of scope would report false
+        disagreements — heterogeneous scenarios raise ``ValueError``
+        up front.
     """
     from repro.experiments.harness import resolve_jobs
 

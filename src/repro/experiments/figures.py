@@ -135,7 +135,14 @@ for _spec in EXPERIMENTS.values():
 @dataclass
 class ExperimentResult:
     """Raw sweeps of one experiment (hom: one sweep; het: two sweeps
-    whose curve labels carry ``_het`` / ``_hom`` suffixes)."""
+    whose curve labels carry ``_het`` / ``_hom`` suffixes).
+
+    ``scenario_spec`` / ``scenario_key`` identify the declarative
+    workload the suites were materialized from (the sized
+    ``section8-*`` spec and its content hash) — the manifest written
+    by ``python -m repro experiment`` embeds both, so a run record is
+    self-describing.
+    """
 
     spec: ExperimentSpec
     xs: np.ndarray
@@ -143,6 +150,8 @@ class ExperimentResult:
     n_instances: int
     grid: str
     exact_method: str
+    scenario_spec: "object | None" = None
+    scenario_key: "str | None" = None
 
 
 @dataclass
@@ -205,9 +214,10 @@ def run_experiment(
         scn = get_scenario("section8-hom").spec.with_(n_instances=n_instances)
         instances = generate_instances(scn, seed=seed)
         methods = [get_method(exact_method), get_method("heur-l"), get_method("heur-p")]
+        scn_hash = scenario_hash(scn)
         sweeps["hom"] = run_sweep(
             instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
-            scenario_key=scenario_hash(scn),
+            scenario_key=scn_hash,
         )
     else:
         scn = get_scenario("section8-het").spec.with_(n_instances=n_instances)
@@ -237,6 +247,8 @@ def run_experiment(
         n_instances=n_instances,
         grid=grid,
         exact_method=exact_method,
+        scenario_spec=scn,
+        scenario_key=scn_hash,
     )
 
 

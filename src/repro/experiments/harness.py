@@ -21,21 +21,25 @@ the paper plots:
 Execution model
 ---------------
 The sweep decomposes into independent **work units** — one registered
-method run on one instance across the whole bounds list.  Units are
+method run on one instance across the whole bounds list.  Internally a
+unit is a family of :class:`repro.solve.Problem` objects (one per
+sweep point, sharing the instance's chain and platform) handed to
+:meth:`Method.solve_problem`.  Units are
 
 * **cached**: each unit's ``(solved, failure)`` arrays are stored under
-  a content hash of the method name, chain, platform, bounds, per-unit
-  seed, and — for sweeps materialized from a declarative scenario
-  (:mod:`repro.scenarios`) — the scenario spec's content hash
-  (:mod:`repro.experiments.cache`), so figures, benches, and
-  cross-checks share work instead of recomputing;
+  a content hash derived from the method name, the per-point *Problem
+  hashes*, the per-unit seed, and — for sweeps materialized from a
+  declarative scenario (:mod:`repro.scenarios`) — the scenario spec's
+  content hash (:mod:`repro.experiments.cache`), so figures, benches,
+  and cross-checks share work instead of recomputing;
 * **parallel**: with ``jobs > 1``, uncached units fan out over a
   :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive the
-  method *name* plus JSON payloads of the instance (closures do not
-  pickle; registry names do), and results land back by unit index — so
-  parallel output is **bit-identical** to the serial path.  Expensive
-  units (by :attr:`Method.cost_hint`) are submitted first so they do
-  not straggle at the tail of the pool queue;
+  method *name* plus a JSON payload of the unit's base Problem
+  (closures do not pickle; registry names and Problems do), and
+  results land back by unit index — so parallel output is
+  **bit-identical** to the serial path.  Expensive units (by
+  :attr:`Method.cost_hint`) are submitted first so they do not
+  straggle at the tail of the pool queue;
 * **seeded**: stochastic methods (``Method.seeded``) get a
   deterministic per-unit seed via :func:`repro.util.rng.stable_seed`,
   derived from the unit's content — identical whether the unit runs
@@ -64,7 +68,8 @@ from repro.core.chain import TaskChain
 from repro.core.platform import Platform
 from repro.experiments.cache import ResultCache, resolve_cache
 from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
-from repro.io import content_hash, from_dict, to_dict
+from repro.io import from_dict, to_dict
+from repro.solve.problem import Problem
 from repro.util.rng import stable_seed
 
 __all__ = ["SweepResult", "run_sweep", "resolve_jobs"]
@@ -143,10 +148,16 @@ def resolve_jobs(jobs: "int | None") -> int:
     return jobs
 
 
+def _unit_problems(
+    base: Problem, bounds: Sequence[tuple[float, float]]
+) -> list[Problem]:
+    """The unit's Problem family: one bounded copy of *base* per point."""
+    return [base.with_bounds(max_period=P, max_latency=L) for P, L in bounds]
+
+
 def _unit_arrays(
     method: Method,
-    chain: TaskChain,
-    platform: Platform,
+    base: Problem,
     bounds: Sequence[tuple[float, float]],
     seed: "int | None",
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -158,11 +169,10 @@ def _unit_arrays(
     """
     solved = np.zeros(len(bounds), dtype=bool)
     failure = np.ones(len(bounds), dtype=float)
-    for pi, (P, L) in enumerate(bounds):
-        if method.seeded:
-            res = method.solve(chain, platform, P, L, seed=stable_seed(seed, pi))
-        else:
-            res = method.solve(chain, platform, P, L)
+    for pi, problem in enumerate(_unit_problems(base, bounds)):
+        res = method.solve_problem(
+            problem, seed=stable_seed(seed, pi) if method.seeded else None
+        )
         solved[pi] = res.feasible
         if res.feasible:
             failure[pi] = res.evaluation.failure_probability
@@ -172,15 +182,15 @@ def _unit_arrays(
 def _solve_unit_payload(
     method_name: str,
     fingerprint: str,
-    chain_payload: dict,
-    platform_payload: dict,
+    problem_payload: dict,
     bounds: Sequence[tuple[float, float]],
     seed: "int | None",
 ) -> tuple[list[bool], list[float]]:
-    """Worker-side entry point: rebuild the unit from JSON payloads.
+    """Worker-side entry point: rebuild the unit from a JSON payload.
 
     Module-level (picklable) and name-addressed: the worker resolves the
-    method from its own registry, so no closure ever crosses the process
+    method from its own registry and the base :class:`Problem` from its
+    :mod:`repro.io` payload, so no closure ever crosses the process
     boundary.  The fingerprint handshake guards spawn-start workers: if
     this process's registry binds *method_name* to different code than
     the parent's (a missing or differently re-registered method), raise
@@ -193,13 +203,12 @@ def _solve_unit_payload(
             f"method {method_name!r} resolves to different code in this "
             f"worker than in the parent process"
         )
-    chain = from_dict(chain_payload)
-    platform = from_dict(platform_payload)
-    solved, failure = _unit_arrays(method, chain, platform, bounds, seed)
+    base = from_dict(problem_payload)
+    solved, failure = _unit_arrays(method, base, bounds, seed)
     return [bool(s) for s in solved], [float(f) for f in failure]
 
 
-def _unit_seed(method: Method, chain: TaskChain, platform: Platform,
+def _unit_seed(method: Method, base: Problem,
                bounds: Sequence[tuple[float, float]]) -> "int | None":
     """Deterministic per-unit seed for stochastic methods (else None)."""
     if not method.seeded:
@@ -207,7 +216,7 @@ def _unit_seed(method: Method, chain: TaskChain, platform: Platform,
     return stable_seed(
         "sweep-unit",
         method.name,
-        content_hash(chain, platform),
+        base.content_hash(),
         tuple((float(P), float(L)) for P, L in bounds),
     )
 
@@ -296,9 +305,12 @@ def run_sweep(
         raise ValueError("need at least one instance")
     if not bounds:
         raise ValueError("need at least one sweep point")
+    # One unbounded base Problem per instance; each unit bounds it per
+    # sweep point (the Problem family is also what the cache hashes).
+    bases = [Problem(chain, platform) for chain, platform in instances]
     for method in methods:
-        for _, platform in instances:
-            method.check_platform(platform)
+        for base in bases:
+            method.check_platform(base.platform)
 
     if xs is None:
         periods = {p for p, _ in bounds}
@@ -332,12 +344,12 @@ def run_sweep(
     # Resolve cached units first; everything else becomes pending work.
     pending: list[tuple[int, int, "int | None", "str | None"]] = []
     for mi, method in enumerate(methods):
-        for ii, (chain, platform) in enumerate(instances):
-            seed = _unit_seed(method, chain, platform, bounds)
+        for ii, base in enumerate(bases):
+            seed = _unit_seed(method, base, bounds)
             key = None
             if store is not None and registered(method):
                 key = store.unit_key(
-                    method.name, chain, platform, bounds, seed,
+                    method.name, _unit_problems(base, bounds), seed,
                     fingerprint=fingerprints[method.name],
                     scenario=scenario_key,
                 )
@@ -369,19 +381,16 @@ def run_sweep(
 
     if not remote:
         for mi, ii, seed, key in local:
-            chain, platform = instances[ii]
-            finish(mi, ii, key, *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+            finish(mi, ii, key, *_unit_arrays(methods[mi], bases[ii], bounds, seed))
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(remote))) as pool:
             futures = {}
             for mi, ii, seed, key in remote:
-                chain, platform = instances[ii]
                 fut = pool.submit(
                     _solve_unit_payload,
                     methods[mi].name,
                     fingerprints[methods[mi].name],
-                    to_dict(chain),
-                    to_dict(platform),
+                    to_dict(bases[ii]),
                     bounds,
                     seed,
                 )
@@ -389,8 +398,7 @@ def run_sweep(
             # The parent works through its own (unpicklable) units while
             # the pool churns, then drains the futures.
             for mi, ii, seed, key in local:
-                chain, platform = instances[ii]
-                finish(mi, ii, key, *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+                finish(mi, ii, key, *_unit_arrays(methods[mi], bases[ii], bounds, seed))
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
@@ -403,9 +411,8 @@ def run_sweep(
                         # may miss (or re-bind) methods registered at
                         # runtime; redo the unit here rather than fail
                         # the sweep or run the wrong code.
-                        chain, platform = instances[ii]
                         finish(mi, ii, key,
-                               *_unit_arrays(methods[mi], chain, platform, bounds, seed))
+                               *_unit_arrays(methods[mi], bases[ii], bounds, seed))
                         continue
                     finish(mi, ii, key,
                            np.asarray(unit_solved, dtype=bool),

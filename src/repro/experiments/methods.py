@@ -1,22 +1,35 @@
 """Method registry: a uniform, extensible interface for the harness.
 
-A :class:`Method` maps ``(chain, platform, max_period, max_latency)`` to
-a :class:`~repro.algorithms.result.SolveResult`.  Methods live in a
-process-wide registry so the sweep runner, the cache, and the CLI can
-all refer to them *by name* — which is also what lets the parallel
-harness ship work units to worker processes as plain strings instead of
-unpicklable closures.
+A :class:`Method` maps a :class:`repro.solve.Problem` — the frozen,
+content-hashable Section 3 instance (chain + platform + period/latency
+bounds + objective) — to a
+:class:`~repro.algorithms.result.SolveResult`.  Methods live in a
+process-wide registry so the sweep runner, the planner, the cache, and
+the CLI can all refer to them *by name* — which is also what lets the
+parallel harness ship work units to worker processes as plain strings
+instead of unpicklable closures.
+
+The front door for one-off solves is the facade::
+
+    from repro.solve import Problem, solve
+
+    problem = Problem(chain, platform, max_period=250.0, max_latency=750.0)
+    result = solve(problem, method="pareto-dp")     # or method="auto"
 
 Built-in methods:
 
 * ``"ilp"`` — the Section 5.4 integer program (exact, homogeneous only);
-  the paper's yardstick in Figures 6-11.
+  the paper's yardstick in Figures 6-11.  ``"ilp-bb"`` is the same
+  model on the pure-python branch-and-bound backend (cross-check use).
 * ``"pareto-dp"`` — our exact combinatorial solver (homogeneous only);
   same optima as ``"ilp"``, several times faster — handy for full-scale
   regeneration.
-* ``"heur-l"`` / ``"heur-p"`` — the Section 7 heuristics (any platform).
+* ``"heur-l"`` / ``"heur-p"`` — the Section 7 heuristics (any platform);
+  ``"heuristic"`` runs both and keeps the best feasible candidate.
 * ``"heur-l-paper"`` / ``"heur-p-paper"`` — the paper's heterogeneous
   reading of Section 7 (see the inline note below).
+* ``"brute-force"`` — exhaustive search for tiny instances (the
+  cross-check's ground truth; guarded by a search-space budget).
 * ``"anneal"`` — the simulated-annealing extension; *stochastic*, so the
   harness hands it a deterministic per-unit seed (see
   :func:`repro.util.rng.stable_seed`).
@@ -24,26 +37,50 @@ Built-in methods:
 Extending the registry::
 
     @register_method("my-method", exact=False, cost_hint=2.0)
-    def _my_solve(chain, platform, P, L):
-        return ...  # a SolveResult
+    def _my_solve(problem):
+        return ...  # a SolveResult for problem.chain on problem.platform
 
-Capability metadata drives both validation (``homogeneous_only`` methods
-refuse heterogeneous platforms up front) and scheduling: the parallel
+Capability metadata drives validation (``homogeneous_only`` methods
+refuse heterogeneous platforms up front), scheduling (the parallel
 harness submits high-``cost_hint`` units first so expensive solves do
-not straggle at the end of the pool queue.
+not straggle at the end of the pool queue), and *planning*: the
+scenario-aware :class:`repro.solve.Planner` reads ``homogeneous_only``,
+``exact``, ``cost_hint``, ``max_tasks``, and ``tags`` to select and
+order the methods applicable to a workload, recording a skip reason for
+every method it drops.
+
+Migration note
+--------------
+Before the :mod:`repro.solve` redesign, solve callables took the bare
+positional tuple ``(chain, platform, max_period, max_latency)``.  Thin
+deprecation shims keep that style working — registering a
+positional-signature callable, or calling a method positionally, emits
+a :class:`DeprecationWarning` (once per call site) and adapts to the
+Problem API.  See the README's migration table; internal code is fully
+migrated and the test suite runs with ``-W error::DeprecationWarning``.
 """
 
 from __future__ import annotations
 
+import functools
 import hashlib
+import inspect
+import math
+import sys
 import types
+import warnings
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.algorithms import heuristic_best, ilp_best, pareto_dp_best
+from repro.algorithms import (
+    brute_force_best,
+    heuristic_best,
+    ilp_best,
+    pareto_dp_best,
+)
 from repro.algorithms.result import SolveResult
-from repro.core.chain import TaskChain
 from repro.core.platform import Platform
+from repro.solve.problem import Problem
 
 __all__ = [
     "Method",
@@ -52,6 +89,39 @@ __all__ = [
     "get_method",
     "register_method",
 ]
+
+_POSITIONAL_CALL_MSG = (
+    "calling a Method with the positional (chain, platform, max_period, "
+    "max_latency) signature is deprecated; build a repro.solve.Problem and "
+    "use Method.solve_problem(problem) or repro.solve.solve(problem, method=...)"
+)
+
+_POSITIONAL_REGISTER_MSG = (
+    "solve callable {name} uses the deprecated positional (chain, platform, "
+    "max_period, max_latency) signature; define it as fn(problem) taking a "
+    "repro.solve.Problem instead"
+)
+
+
+def _warn_deprecated(message: str) -> None:
+    """Emit a DeprecationWarning attributed to the caller *outside*
+    this module.
+
+    The shims are reached through varying internal depths (``
+    method.solve(...)`` directly, ``method(...)`` via ``__call__``,
+    registration via the decorator and the dataclass ``__init__``), so
+    a fixed ``stacklevel`` would pin every warning to one line of this
+    file — deduplicating *all* un-migrated call sites into a single
+    report and pointing users at library code.  Walking to the first
+    external frame keeps the documented once-per-call-site contract
+    honest.
+    """
+    level = 2
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+        level += 1
+    warnings.warn(message, DeprecationWarning, stacklevel=level)
 
 
 class UnknownMethodError(KeyError, ValueError):
@@ -66,17 +136,93 @@ class UnknownMethodError(KeyError, ValueError):
         return self.args[0] if self.args else ""
 
 
+def _takes_problem(fn: Callable) -> bool:
+    """Heuristically classify a solve callable's signature.
+
+    Problem-style callables take a single *required* positional
+    parameter (conventionally named ``problem``; trailing defaulted
+    parameters like ``seed=None`` don't count); legacy callables take
+    the four positional ``(chain, platform, max_period, max_latency)``.
+    Objects without an inspectable signature are assumed problem-style
+    (the canonical form).
+    """
+    try:
+        params = list(inspect.signature(fn).parameters.values())
+    except (TypeError, ValueError):  # builtins, C callables
+        return True
+    positional = [
+        p
+        for p in params
+        if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+    ]
+    if positional and positional[0].name in ("problem", "prob"):
+        return True
+    required = [p for p in positional if p.default is p.empty]
+    return len(required) < 2
+
+
+def _as_canonical(fn: Callable) -> Callable:
+    """Normalize a solve callable to the canonical dual-entry form.
+
+    The returned callable's primary signature is ``(problem, **kw)``;
+    it also still accepts the legacy positional ``(chain, platform,
+    max_period, max_latency)`` form, emitting a
+    :class:`DeprecationWarning` at the caller's line (so with default
+    warning filters each un-migrated call site warns exactly once).
+
+    Legacy-signature *callables* are adapted too: registering one warns
+    once at the registration site, after which every Problem routed to
+    it is unpacked into the old four arguments.  Idempotent — an
+    already-canonical callable (e.g. one lifted off another
+    :class:`Method`) passes through unchanged, keeping fingerprints and
+    ``replace=True`` re-registration stable.
+    """
+    if getattr(fn, "__repro_canonical__", False):
+        return fn
+    if _takes_problem(fn):
+        inner, legacy = fn, None
+    else:
+        inner, legacy = None, fn
+        _warn_deprecated(
+            _POSITIONAL_REGISTER_MSG.format(name=getattr(fn, "__qualname__", repr(fn)))
+        )
+
+    @functools.wraps(fn)
+    def canonical(*args, **kwargs):
+        if args and isinstance(args[0], Problem):
+            problem = args[0]
+            if inner is not None:
+                return inner(problem, *args[1:], **kwargs)
+            return legacy(
+                problem.chain, problem.platform,
+                problem.max_period, problem.max_latency, **kwargs,
+            )
+        _warn_deprecated(_POSITIONAL_CALL_MSG)
+        chain, platform, *rest = args
+        P = float(rest[0]) if len(rest) > 0 else kwargs.pop("max_period", math.inf)
+        L = float(rest[1]) if len(rest) > 1 else kwargs.pop("max_latency", math.inf)
+        if inner is not None:
+            return inner(Problem(chain, platform, P, L), **kwargs)
+        return legacy(chain, platform, P, L, **kwargs)
+
+    canonical.__repro_canonical__ = True
+    return canonical
+
+
 @dataclass(frozen=True)
 class Method:
-    """A named mapping-search method usable in bound sweeps.
+    """A named mapping-search method usable in solves, plans, and sweeps.
 
     Attributes
     ----------
     name:
         Registry key and curve label.
     solve:
-        ``(chain, platform, max_period, max_latency) -> SolveResult``.
-        Stochastic methods additionally accept a ``seed`` keyword.
+        The canonical solve callable: ``(problem) -> SolveResult``
+        (stochastic methods additionally accept a ``seed`` keyword).
+        Legacy positional-signature callables are adapted on
+        construction with a :class:`DeprecationWarning`; positional
+        *calls* keep working through a warning shim.
     exact:
         True for provably optimal solvers, False for heuristics.
     homogeneous_only:
@@ -85,19 +231,45 @@ class Method:
         platforms with a clear error (:meth:`check_platform`).
     cost_hint:
         Relative cost of one solve (heuristics ~1).  The parallel
-        harness schedules expensive units first to balance the pool.
+        harness schedules expensive units first to balance the pool,
+        and the planner orders selected methods expensive-first.
     seeded:
         True when ``solve`` is stochastic and takes a ``seed`` keyword;
         the harness derives a deterministic per-unit seed so parallel
         and serial runs stay bit-identical.
+    max_tasks:
+        Optional hard ceiling on chain length (e.g. brute force's
+        search-space budget); the planner skips the method for larger
+        workloads.  ``None`` = no intrinsic limit.
+    tags:
+        Free-form capability labels.  The planner understands
+        ``"manual"`` (never auto-selected; must be requested
+        explicitly) and ``"paired"`` (auto-selected only for paired
+        Section 8.2-style scenarios).
     """
 
     name: str
-    solve: Callable[[TaskChain, Platform, float, float], SolveResult]
+    solve: Callable[..., SolveResult]
     exact: bool
     homogeneous_only: bool
     cost_hint: float = 1.0
     seeded: bool = False
+    max_tasks: "int | None" = None
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "solve", _as_canonical(self.solve))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    def solve_problem(self, problem: Problem, *, seed: "int | None" = None) -> SolveResult:
+        """Solve one :class:`~repro.solve.Problem` (the canonical path).
+
+        *seed* is forwarded only to stochastic (:attr:`seeded`)
+        methods; deterministic methods ignore it.
+        """
+        if self.seeded:
+            return self.solve(problem, seed=seed)
+        return self.solve(problem)
 
     def check_platform(self, platform: Platform) -> None:
         """Raise a descriptive error if *platform* is out of scope."""
@@ -107,6 +279,15 @@ class Method:
                 f"(it implements a Section 5 algorithm); got a "
                 f"heterogeneous platform with {platform.p} processors. "
                 f"Use a heuristic method (e.g. 'heur-l', 'heur-p') instead."
+            )
+
+    def check_problem(self, problem: Problem) -> None:
+        """Raise a descriptive error if *problem* is out of scope."""
+        self.check_platform(problem.platform)
+        if self.max_tasks is not None and problem.n_tasks > self.max_tasks:
+            raise ValueError(
+                f"method {self.name!r} handles chains of at most "
+                f"{self.max_tasks} tasks; got {problem.n_tasks}"
             )
 
     def fingerprint(self) -> str:
@@ -154,8 +335,10 @@ class Method:
         visit(self.solve)
         return digest.hexdigest()
 
-    def __call__(self, chain, platform, P, L, **kwargs) -> SolveResult:
-        return self.solve(chain, platform, P, L, **kwargs)
+    def __call__(self, *args, **kwargs) -> SolveResult:
+        """Alias of :attr:`solve`: ``method(problem)`` is the canonical
+        call; the positional legacy form warns and adapts."""
+        return self.solve(*args, **kwargs)
 
 
 #: The process-wide registry (name -> Method).  Mutate only through
@@ -170,15 +353,19 @@ def register_method(
     homogeneous_only: bool = False,
     cost_hint: float = 1.0,
     seeded: bool = False,
+    max_tasks: "int | None" = None,
+    tags: "tuple[str, ...] | list[str]" = (),
     replace: bool = False,
 ) -> Callable[[Callable], Method]:
     """Decorator registering a solve callable as a named :class:`Method`.
 
+    The callable takes a :class:`repro.solve.Problem` (legacy
+    positional signatures are adapted with a DeprecationWarning).
     Duplicate names are rejected (``ValueError``) unless
     ``replace=True`` — re-registering silently would let one experiment
     corrupt another's curves and cache keys.  Returns the
     :class:`Method` record, so the decorated name is the method object
-    itself (its ``solve`` attribute holds the original callable).
+    itself (its ``solve`` attribute holds the canonical callable).
     """
     if not name or not isinstance(name, str):
         raise ValueError(f"method name must be a non-empty string, got {name!r}")
@@ -196,6 +383,8 @@ def register_method(
             homogeneous_only=homogeneous_only,
             cost_hint=cost_hint,
             seeded=seeded,
+            max_tasks=max_tasks,
+            tags=tuple(tags),
         )
         METHODS[name] = method
         return method
@@ -226,22 +415,39 @@ def get_method(name: str) -> Method:
 
 
 @register_method("ilp", exact=True, homogeneous_only=True, cost_hint=10.0)
-def _ilp(chain, platform, P, L):
-    return ilp_best(chain, platform, max_period=P, max_latency=L)
+def _ilp(problem):
+    return ilp_best(
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
+
+
+@register_method(
+    "ilp-bb", exact=True, homogeneous_only=True, cost_hint=30.0, tags=("manual",)
+)
+def _ilp_bb(problem):
+    return ilp_best(
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+        backend="branch-bound",
+    )
 
 
 @register_method("pareto-dp", exact=True, homogeneous_only=True, cost_hint=3.0)
-def _pareto(chain, platform, P, L):
-    return pareto_dp_best(chain, platform, max_period=P, max_latency=L)
+def _pareto(problem):
+    return pareto_dp_best(
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
 
 
 def _heur(which, selection, allocation="auto"):
-    def solve(chain, platform, P, L):
+    def solve(problem):
         return heuristic_best(
-            chain,
-            platform,
-            max_period=P,
-            max_latency=L,
+            problem.chain,
+            problem.platform,
+            max_period=problem.max_period,
+            max_latency=problem.max_latency,
             which=which,
             selection=selection,
             allocation=allocation,
@@ -253,18 +459,43 @@ def _heur(which, selection, allocation="auto"):
 register_method("heur-l")(_heur("heur-l", "feasible-best"))
 register_method("heur-p")(_heur("heur-p", "feasible-best"))
 
+# Both Section 7 heuristics, best feasible candidate kept — the CLI's
+# default on heterogeneous platforms.  "manual" keeps the planner from
+# auto-selecting it next to its own components heur-l / heur-p.
+register_method("heuristic", cost_hint=1.5, tags=("manual",))(
+    _heur("both", "feasible-best")
+)
+
 # The paper's heterogeneous experiment code: the Section 7.2 allocation
 # (period-filtered) on *both* platforms of each pair, and
 # best-reliability-then-check-bounds selection (see the heuristic_best
-# docstring) — the source of Fig. 12's non-monotone curves.
-register_method("heur-l-paper")(_heur("heur-l", "best-then-check", allocation="het"))
-register_method("heur-p-paper")(_heur("heur-p", "best-then-check", allocation="het"))
+# docstring) — the source of Fig. 12's non-monotone curves.  The
+# planner auto-selects these only for paired (Section 8.2) scenarios.
+register_method("heur-l-paper", tags=("paired",))(
+    _heur("heur-l", "best-then-check", allocation="het")
+)
+register_method("heur-p-paper", tags=("paired",))(
+    _heur("heur-p", "best-then-check", allocation="het")
+)
+
+
+# No max_tasks cap: the real constraint is brute_force_best's own
+# search-space budget, which depends on p and K as well as the chain
+# length — a plain task count would reject instances the budget admits.
+@register_method("brute-force", exact=True, cost_hint=100.0, tags=("manual",))
+def _brute_force(problem):
+    return brute_force_best(
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
 
 
 @register_method("anneal", cost_hint=20.0, seeded=True)
-def _anneal(chain, platform, P, L, seed=None):
+def _anneal(problem, seed=None):
     from repro.extensions.annealing import anneal_mapping
 
     return anneal_mapping(
-        chain, platform, max_period=P, max_latency=L, iterations=500, rng=seed
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+        iterations=500, rng=seed,
     )

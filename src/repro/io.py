@@ -5,7 +5,9 @@ into EXPERIMENTS.md bookkeeping, across tools.  This module defines a
 stable, versioned JSON round-trip for every user-facing model object,
 including :class:`~repro.scenarios.spec.ScenarioSpec` (so workload
 definitions ship as files through the same codec as the instances they
-generate).
+generate) and :class:`~repro.solve.Problem` (so bounded solver
+instances ship to worker processes and derive stable cache keys;
+infinite bounds are encoded as the string ``"inf"``).
 
 Format: each object carries a ``"type"`` tag and a flat payload; a
 top-level ``"repro_format"`` version guards future migrations.
@@ -69,11 +71,12 @@ def to_dict(obj: "TaskChain | Platform | Mapping | Any") -> dict[str, Any]:
             "replicas": [list(r) for r in obj.replicas],
         }
     else:
-        # Deferred import: repro.scenarios is a higher layer (its spec
-        # codec calls back into this module's content_hash).
+        # Deferred imports: repro.scenarios and repro.solve are higher
+        # layers (their codecs call back into this module).
         from repro.scenarios.spec import ScenarioSpec
+        from repro.solve.problem import Problem
 
-        if isinstance(obj, ScenarioSpec):
+        if isinstance(obj, (ScenarioSpec, Problem)):
             payload = obj.to_dict()
         else:
             raise TypeError(f"cannot serialize {type(obj).__name__}")
@@ -114,6 +117,19 @@ def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping | Any"
         from repro.scenarios.spec import spec_from_payload
 
         return spec_from_payload(payload)
+    if kind == "Problem":
+        from repro.solve.problem import Problem
+
+        chain = from_dict(payload["chain"])
+        platform = from_dict(payload["platform"])
+        assert isinstance(chain, TaskChain) and isinstance(platform, Platform)
+        return Problem(
+            chain=chain,
+            platform=platform,
+            max_period=float(payload["max_period"]),
+            max_latency=float(payload["max_latency"]),
+            objective=payload.get("objective", "reliability"),
+        )
     raise ValueError(f"unknown object type {kind!r}")
 
 
@@ -138,7 +154,9 @@ def content_hash(*payloads: Any) -> str:
     """
     digest = hashlib.sha256()
     for payload in payloads:
-        if isinstance(payload, (TaskChain, Platform, Mapping)):
+        if isinstance(payload, (TaskChain, Platform, Mapping)) or (
+            not isinstance(payload, dict) and callable(getattr(payload, "to_dict", None))
+        ):
             payload = to_dict(payload)
         digest.update(canonical_json(payload).encode())
         digest.update(b"\x1f")

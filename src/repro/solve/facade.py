@@ -1,0 +1,74 @@
+"""``solve(problem, method=...)`` — the one front door to every solver.
+
+The facade resolves the method (by registry name, with ``"auto"``
+picking a sensible default per platform), validates the problem against
+the method's capability metadata, and runs the solve.  Errors are the
+registry's own: an unknown name raises
+:class:`~repro.experiments.methods.UnknownMethodError` with the exact
+same message as :func:`~repro.experiments.methods.get_method`, and a
+``homogeneous_only`` method on a heterogeneous platform raises the
+registry's descriptive ``ValueError`` — callers never see a different
+error surface than the registry they already know.
+
+>>> from repro.core import Platform, TaskChain
+>>> from repro.solve import Problem, solve
+>>> chain = TaskChain(work=[10, 20, 15], output=[2, 3, 0])
+>>> plat = Platform.homogeneous_platform(
+...     4, failure_rate=1e-8, link_failure_rate=1e-5, max_replication=2)
+>>> solve(Problem(chain, plat, max_period=30.0, max_latency=60.0)).feasible
+True
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.result import SolveResult
+from repro.solve.problem import Problem
+
+__all__ = ["solve", "auto_method_name"]
+
+
+def auto_method_name(problem: Problem) -> str:
+    """The registry name ``method="auto"`` resolves to for *problem*:
+    the fast exact solver on homogeneous platforms (Section 5 scope),
+    the combined Section 7 heuristic otherwise."""
+    return "pareto-dp" if problem.homogeneous else "heuristic"
+
+
+def solve(problem: Problem, method="auto", *, seed: "int | None" = None) -> SolveResult:
+    """Solve one :class:`Problem` with a registered (or ad-hoc) method.
+
+    Parameters
+    ----------
+    problem:
+        The instance to solve.
+    method:
+        A registry name (see ``repro.experiments.METHODS``), a
+        :class:`~repro.experiments.methods.Method` object, or
+        ``"auto"`` (default) — :func:`auto_method_name`'s choice.
+    seed:
+        Deterministic seed, forwarded to stochastic (``seeded``)
+        methods only.
+
+    Raises
+    ------
+    UnknownMethodError
+        For unknown method names (identical message to the registry's
+        :func:`~repro.experiments.methods.get_method`).
+    ValueError
+        When the problem is out of the method's declared scope (e.g. a
+        Section 5 exact method on a heterogeneous platform).
+    """
+    from repro.experiments.methods import Method, get_method
+
+    if not isinstance(problem, Problem):
+        raise TypeError(
+            f"solve() takes a repro.solve.Problem, got {type(problem).__name__}; "
+            f"wrap the instance: solve(Problem(chain, platform, P, L), ...)"
+        )
+    if isinstance(method, Method):
+        resolved = method
+    else:
+        name = auto_method_name(problem) if method == "auto" else method
+        resolved = get_method(name)
+    resolved.check_problem(problem)
+    return resolved.solve_problem(problem, seed=seed)

@@ -71,9 +71,10 @@ class TestAdHocMethods:
     def test_unregistered_method_parallel(self, suite, serial):
         local = Method(
             name="local-heur-l",
-            solve=lambda c, p, P, L: heuristic_best(
-                c, p, max_period=P, max_latency=L, which="heur-l",
-                selection="feasible-best",
+            solve=lambda problem: heuristic_best(
+                problem.chain, problem.platform,
+                max_period=problem.max_period, max_latency=problem.max_latency,
+                which="heur-l", selection="feasible-best",
             ),
             exact=False,
             homogeneous_only=False,

@@ -81,6 +81,8 @@ HELP_PATHS = [
     ["scenario", "list"],
     ["scenario", "show"],
     ["scenario", "run"],
+    ["plan"],
+    ["plan", "show"],
     ["demo"],
 ]
 
@@ -201,10 +203,63 @@ class TestScenarioCLI:
 
         assert decoded == get_scenario("section8-hom").spec
 
-    def test_scenario_run_registered(self, capsys):
-        assert main(["scenario", "run", "section8-hom", "--n-instances", "2"]) == 0
+    def test_scenario_run_registered(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        assert main(["scenario", "run", "section8-hom", "--n-instances", "2",
+                     "--manifest", str(manifest)]) == 0
         out = capsys.readouterr().out
         assert "2 instances" in out and "heur-l" in out and "pareto-dp" in out
+        # The manifest is self-describing: spec hash + describe record
+        # + the planner's selection with skip reasons.
+        payload = json.loads(manifest.read_text())
+        from repro.scenarios import get_scenario, scenario_hash
+
+        spec = get_scenario("section8-hom").spec.with_(n_instances=2)
+        assert payload["scenario"]["spec_hash"] == scenario_hash(spec)
+        assert payload["scenario"]["describe"]["homogeneous"] is True
+        assert payload["plan"]["selected"] == ["pareto-dp", "heur-l", "heur-p"]
+        assert any("redundant exact" in s["reason"] for s in payload["plan"]["skipped"])
+        assert payload["grid"]["mode"] == "point"
+        assert set(payload["series"]) == {"pareto-dp", "heur-l", "heur-p"}
+
+    def test_scenario_run_grid_auto(self, tmp_path, capsys):
+        """Acceptance: --grid auto emits a multi-point (P, L) sweep with
+        per-method curves and a manifest recording the derived grid."""
+        manifest = tmp_path / "m.json"
+        assert main(["scenario", "run", "section8-hom", "--n-instances", "3",
+                     "--grid", "auto", "--grid-points", "4",
+                     "--manifest", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "derived period grid: 4 points" in out
+        assert "solutions vs period bound" in out
+        payload = json.loads(manifest.read_text())
+        assert payload["grid"]["mode"] == "auto"
+        assert len(payload["grid"]["periods"]) == 4
+        assert len(payload["points"]) == 4
+        for series in payload["series"].values():
+            assert len(series["counts"]) == 4
+            # Paper-style shape: counts never decrease along the grid.
+            assert series["counts"] == sorted(series["counts"])
+        assert payload["scenario"]["spec_hash"]
+        assert payload["plan"]["skipped"]
+
+    def test_scenario_run_explicit_methods_gated(self, tmp_path, capsys):
+        """An explicitly requested out-of-scope method is skipped with a
+        reason instead of crashing the run."""
+        manifest = tmp_path / "m.json"
+        assert main(["scenario", "run", "high-heterogeneity", "--n-instances", "2",
+                     "--methods", "pareto-dp", "heur-l",
+                     "--manifest", str(manifest)]) == 0
+        err = capsys.readouterr().err
+        assert "skipping pareto-dp" in err
+        payload = json.loads(manifest.read_text())
+        assert payload["plan"]["selected"] == ["heur-l"]
+
+    def test_scenario_run_no_applicable_methods(self, tmp_path):
+        with pytest.raises(SystemExit, match="no applicable methods"):
+            main(["scenario", "run", "high-heterogeneity", "--n-instances", "2",
+                  "--methods", "pareto-dp",
+                  "--manifest", str(tmp_path / "m.json")])
 
     def test_scenario_run_spec_file_roundtrip(self, tmp_path, capsys):
         """A spec written through io.py runs straight from the file."""
@@ -216,7 +271,8 @@ class TestScenarioCLI:
         path = tmp_path / "spec.json"
         path.write_text(dumps(spec, indent=2))
         assert loads(path.read_text()) == spec  # io round-trip
-        assert main(["scenario", "run", str(path), "--seed", "2"]) == 0
+        assert main(["scenario", "run", str(path), "--seed", "2",
+                     "--manifest", str(tmp_path / "m.json")]) == 0
         out = capsys.readouterr().out
         assert "tiny-spare" in out and "2 instances" in out
 
@@ -227,3 +283,34 @@ class TestScenarioCLI:
     def test_scenario_show_unknown(self):
         with pytest.raises(SystemExit, match="unknown scenario"):
             main(["scenario", "show", "no-such-workload"])
+
+
+class TestPlanCLI:
+    def test_plan_show_table(self, capsys):
+        assert main(["plan", "show", "section8-hom"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto-dp" in out and "skipped:" in out
+        assert "redundant exact solver" in out
+
+    def test_plan_show_json(self, capsys):
+        assert main(["plan", "show", "scaling-stress", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["selected"] == ["heur-l", "heur-p"]
+        assert any(
+            "exceeds the exact-method threshold" in s["reason"]
+            for s in payload["skipped"]
+        )
+
+    def test_plan_show_threshold_flags(self, capsys):
+        assert main(["plan", "show", "scaling-stress", "--json",
+                     "--max-exact-tasks", "100", "--max-exact-procs", "64"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "pareto-dp" in payload["selected"]
+
+    def test_plan_show_unknown_scenario(self):
+        with pytest.raises(SystemExit, match="unknown scenario"):
+            main(["plan", "show", "no-such-workload"])
+
+    def test_plan_show_unknown_method(self):
+        with pytest.raises(SystemExit, match="unknown method"):
+            main(["plan", "show", "section8-hom", "--methods", "nope"])

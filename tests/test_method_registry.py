@@ -29,7 +29,7 @@ def scratch_registry():
 class TestRegistration:
     def test_decorator_registers_and_returns_method(self, scratch_registry):
         @register_method("null-method", exact=False, cost_hint=0.5)
-        def solve(chain, platform, P, L):
+        def solve(problem):
             return SolveResult(feasible=False, method="null-method")
 
         assert isinstance(solve, Method)
@@ -38,7 +38,7 @@ class TestRegistration:
 
     def test_duplicate_name_rejected(self, scratch_registry):
         with pytest.raises(ValueError, match="already registered"):
-            register_method("heur-l")(lambda c, p, P, L: None)
+            register_method("heur-l")(lambda problem: None)
 
     def test_replace_opt_in(self, scratch_registry):
         original = get_method("heur-l")
@@ -102,8 +102,8 @@ class TestFingerprints:
     implementation fingerprint — names alone don't identify code."""
 
     def test_different_code_different_fingerprint(self):
-        a = Method("m", lambda c, p, P, L: None, exact=False, homogeneous_only=False)
-        b = Method("m", lambda c, p, P, L: 1 + 1, exact=False, homogeneous_only=False)
+        a = Method("m", lambda problem: None, exact=False, homogeneous_only=False)
+        b = Method("m", lambda problem: 1 + 1, exact=False, homogeneous_only=False)
         assert a.fingerprint() != b.fingerprint()
 
     def test_same_code_different_captures(self):
@@ -114,7 +114,7 @@ class TestFingerprints:
     def test_stable_across_calls_and_mutable_state(self):
         state = {"n": 0}
 
-        def solve(c, p, P, L):
+        def solve(problem):
             state["n"] += 1
 
         m = Method("counted", solve, exact=False, homogeneous_only=False)

@@ -12,10 +12,16 @@ import pytest
 
 from repro.core import Platform, TaskChain
 from repro.experiments import Method, ResultCache, get_method, homogeneous_suite, run_sweep
-from repro.experiments.cache import resolve_cache
+from repro.experiments.cache import CACHE_FORMAT, resolve_cache
 from repro.io import content_hash
+from repro.solve import Problem
 
 BOUNDS = [(100.0, 750.0), (300.0, 750.0)]
+
+
+def problems(chain, platform, bounds=BOUNDS):
+    """The unit's Problem family, as run_sweep derives it."""
+    return [Problem(chain, platform, P, L) for P, L in bounds]
 
 
 @pytest.fixture
@@ -50,12 +56,14 @@ class TestKeyStability:
         """Content hashes must not depend on per-process hash salting."""
         chain, platform = instance
         cache = ResultCache(".")
-        here = cache.unit_key("heur-l", chain, platform, BOUNDS)
+        here = cache.unit_key("heur-l", problems(chain, platform))
         script = (
             "from repro.experiments import homogeneous_suite\n"
             "from repro.experiments.cache import ResultCache\n"
+            "from repro.solve import Problem\n"
             "chain, platform = homogeneous_suite(n_instances=1, seed=8)[0]\n"
-            f"print(ResultCache('.').unit_key('heur-l', chain, platform, {BOUNDS!r}))\n"
+            f"units = [Problem(chain, platform, P, L) for P, L in {BOUNDS!r}]\n"
+            "print(ResultCache('.').unit_key('heur-l', units))\n"
         )
         import repro
 
@@ -71,7 +79,7 @@ class TestKeyStability:
     def test_invalidation_on_ingredient_change(self, instance):
         chain, platform = instance
         cache = ResultCache(".")
-        base = cache.unit_key("heur-l", chain, platform, BOUNDS)
+        base = cache.unit_key("heur-l", problems(chain, platform))
         other_chain = TaskChain(chain.work * 2.0, chain.output)
         other_platform = Platform(
             speeds=platform.speeds * 2.0,
@@ -81,15 +89,19 @@ class TestKeyStability:
             max_replication=platform.max_replication,
         )
         variants = {
-            "method": cache.unit_key("heur-p", chain, platform, BOUNDS),
-            "chain": cache.unit_key("heur-l", other_chain, platform, BOUNDS),
-            "platform": cache.unit_key("heur-l", chain, other_platform, BOUNDS),
-            "bounds": cache.unit_key("heur-l", chain, platform, BOUNDS[:1]),
-            "seed": cache.unit_key("heur-l", chain, platform, BOUNDS, seed=7),
+            "method": cache.unit_key("heur-p", problems(chain, platform)),
+            "chain": cache.unit_key("heur-l", problems(other_chain, platform)),
+            "platform": cache.unit_key("heur-l", problems(chain, other_platform)),
+            "bounds": cache.unit_key("heur-l", problems(chain, platform, BOUNDS[:1])),
+            "seed": cache.unit_key("heur-l", problems(chain, platform), seed=7),
         }
         for what, key in variants.items():
             assert key != base, f"changing the {what} must change the key"
         assert len(set(variants.values())) == len(variants)
+
+    def test_empty_unit_rejected(self, instance):
+        with pytest.raises(ValueError, match="at least one Problem"):
+            ResultCache(".").unit_key("heur-l", [])
 
     def test_content_hash_model_objects(self, instance):
         chain, platform = instance
@@ -99,7 +111,8 @@ class TestKeyStability:
 
 class TestCorruptionRecovery:
     def _one_entry(self, cache):
-        key = cache.unit_key("x", *homogeneous_suite(n_instances=1, seed=8)[0], BOUNDS)
+        chain, platform = homogeneous_suite(n_instances=1, seed=8)[0]
+        key = cache.unit_key("x", problems(chain, platform))
         cache.put(key, np.array([True, True]), np.array([0.5, 0.5]))
         return key, cache._path(key)
 
@@ -108,8 +121,9 @@ class TestCorruptionRecovery:
         [
             "not json at all {",
             json.dumps({"repro_cache": 999, "solved": [True], "failure": [0.5]}),
-            json.dumps({"repro_cache": 1, "solved": [True], "failure": [0.5]}),  # wrong len
-            json.dumps({"repro_cache": 1}),  # missing arrays
+            json.dumps({"repro_cache": 1, "solved": [True, True], "failure": [0.5, 0.5]}),  # stale format
+            json.dumps({"repro_cache": CACHE_FORMAT, "solved": [True], "failure": [0.5]}),  # wrong len
+            json.dumps({"repro_cache": CACHE_FORMAT}),  # missing arrays
             json.dumps([1, 2, 3]),  # wrong top-level type
         ],
     )
@@ -129,7 +143,7 @@ class TestCorruptionRecovery:
         entry.write_text("truncated garbag")
         again = run_sweep([instance], methods, BOUNDS, cache=cache)
         assert np.array_equal(first.failure, again.failure)
-        assert json.loads(entry.read_text())["repro_cache"] == 1
+        assert json.loads(entry.read_text())["repro_cache"] == CACHE_FORMAT
 
 
 class TestWarmRunDoesNoWork:
@@ -140,9 +154,9 @@ class TestWarmRunDoesNoWork:
 
         solve_calls = {"n": 0}
 
-        def counting_solve(c, p, P, L):
+        def counting_solve(problem):
             solve_calls["n"] += 1
-            return get_method("heur-l").solve(c, p, P, L)
+            return get_method("heur-l").solve_problem(problem)
 
         counted = register_method("counted-heur-l")(counting_solve)
         try:
@@ -165,7 +179,7 @@ class TestWarmRunDoesNoWork:
         outside the registry bypass the cache entirely."""
         local = Method(
             name="heur-l",  # same name as a builtin, different object
-            solve=lambda c, p, P, L: get_method("heur-l").solve(c, p, P, L),
+            solve=lambda problem: get_method("heur-l").solve_problem(problem),
             exact=False, homogeneous_only=False,
         )
         suite = homogeneous_suite(n_instances=2, seed=21)

@@ -364,16 +364,16 @@ class TestSweepIntegration:
         assert np.array_equal(first.failure, second.failure)
 
     def test_cache_key_includes_spec_hash(self, tmp_path):
+        from repro.solve import Problem
+
         spec = self.tiny_spec()
         cache = ResultCache(tmp_path)
         chain, platform = generate_instances(spec, seed=5)[0]
-        bounds = [(150.0, 750.0)]
-        plain = cache.unit_key("heur-l", chain, platform, bounds)
-        scoped = cache.unit_key(
-            "heur-l", chain, platform, bounds, scenario=scenario_hash(spec)
-        )
+        unit = [Problem(chain, platform, 150.0, 750.0)]
+        plain = cache.unit_key("heur-l", unit)
+        scoped = cache.unit_key("heur-l", unit, scenario=scenario_hash(spec))
         other = cache.unit_key(
-            "heur-l", chain, platform, bounds,
+            "heur-l", unit,
             scenario=scenario_hash(spec.with_(link_failure_rate=1e-4)),
         )
         assert len({plain, scoped, other}) == 3
