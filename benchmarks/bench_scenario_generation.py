@@ -10,14 +10,27 @@ second, plus the batched mode's speedup.
 The two modes draw *different* ensembles by design (different stream
 layouts), so the bench asserts distributional invariants — sizes,
 ranges, reproducibility — rather than equality.
+
+Dual entry points: a pytest-benchmark test and a ``--json`` script mode
+for the benchmark-regression gate (see ``benchmarks/jsonbench.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_scenario_generation.py --json out.json
 """
 
 import time
 
 from repro.scenarios import generate_instances, get_scenario
-from benchmarks.conftest import emit
+
+try:
+    from benchmarks.conftest import emit
+except ImportError:  # script mode: no pytest plumbing to bypass
+    def emit(*parts):
+        print(" ".join(str(p) for p in parts))
 
 N_INSTANCES = 1000
+
+#: Regression-gate metric names (see run_generation_bench).
+BENCH_NAME = "bench_scenario_generation"
 
 
 def _time(spec, seed=0):
@@ -26,7 +39,13 @@ def _time(spec, seed=0):
     return ensemble, time.perf_counter() - t0
 
 
-def test_scenario_generation_throughput(benchmark):
+def run_generation_bench() -> dict:
+    """Generate both ways and return the regression-gate metrics.
+
+    ``batched_speedup`` is the machine-portable headline (same
+    workload, same process, two code paths); ``batched_us_per_instance``
+    is absolute and therefore gated only loosely.
+    """
     base = get_scenario("high-heterogeneity").spec.with_(n_instances=N_INSTANCES)
     per_instance = base.with_(rng_mode="per-instance")
     batched = base.with_(rng_mode="batched")
@@ -55,4 +74,26 @@ def test_scenario_generation_throughput(benchmark):
         for (ca, pa), (cb, pb) in zip(ensemble_b, again)
     )
 
+    return {
+        "batched_speedup": seconds_pi / seconds_b,
+        "batched_us_per_instance": seconds_b / N_INSTANCES * 1e6,
+        "per_instance_us_per_instance": seconds_pi / N_INSTANCES * 1e6,
+    }
+
+
+def test_scenario_generation_throughput(benchmark):
+    run_generation_bench()
+    batched = (
+        get_scenario("high-heterogeneity")
+        .spec.with_(n_instances=N_INSTANCES, rng_mode="batched")
+    )
     benchmark(lambda: generate_instances(batched, seed=1))
+
+
+if __name__ == "__main__":
+    try:
+        from benchmarks.jsonbench import main
+    except ImportError:  # plain `python benchmarks/bench_*.py` execution
+        from jsonbench import main
+
+    main(BENCH_NAME, run_generation_bench)

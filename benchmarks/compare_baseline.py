@@ -1,0 +1,123 @@
+"""Benchmark-regression gate: compare --json bench results to a baseline.
+
+Usage::
+
+    python benchmarks/compare_baseline.py benchmarks/baseline.json \
+        bench-facade.json bench-scenarios.json
+
+The baseline file pins, per metric, the expected value, the direction
+in which *worse* lies, and a relative tolerance::
+
+    {
+      "default_tolerance": 0.25,
+      "metrics": {
+        "bench_solve_facade.facade_vs_direct_ratio": {
+          "value": 1.02, "direction": "lower"
+        },
+        "bench_scenario_generation.batched_us_per_instance": {
+          "value": 45.0, "direction": "lower", "tolerance": 3.0
+        }
+      }
+    }
+
+``direction: "lower"`` means lower is better (a *rise* regresses);
+``"higher"`` means higher is better (a *drop* regresses).  A metric
+fails when its regression exceeds its tolerance (the top-level
+``default_tolerance`` — 25% per the CI policy — unless overridden:
+absolute wall-time metrics get looser gates because CI machines vary,
+while ratio metrics measured in-process are held to the default).
+Result metrics missing from the baseline are reported but never fail —
+add them to the baseline to start gating them.  Baseline metrics
+missing from the results fail, so the gate cannot silently go blind.
+
+Exit code 0 = within tolerance, 1 = regression (or malformed input).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_results(paths: "list[pathlib.Path]") -> dict:
+    """Merge ``{bench: {metric: value}}`` files into flat dotted keys."""
+    flat: dict[str, float] = {}
+    for path in paths:
+        payload = json.loads(path.read_text())
+        for bench, metrics in payload.items():
+            if not isinstance(metrics, dict):
+                raise ValueError(f"{path}: bench {bench!r} is not a metrics dict")
+            for metric, value in metrics.items():
+                flat[f"{bench}.{metric}"] = float(value)
+    return flat
+
+
+def regression(value: float, base: float, direction: str) -> float:
+    """Relative movement toward *worse* (negative = improvement)."""
+    if base == 0:
+        raise ValueError("baseline value must be nonzero")
+    if direction == "lower":
+        return (value - base) / abs(base)
+    if direction == "higher":
+        return (base - value) / abs(base)
+    raise ValueError(f"unknown direction {direction!r} (use 'lower' or 'higher')")
+
+
+def compare(baseline: dict, results: dict) -> "tuple[list[str], bool]":
+    """Render a report and return (lines, ok)."""
+    default_tol = float(baseline.get("default_tolerance", 0.25))
+    lines = [
+        f"{'metric':55s} {'baseline':>10s} {'current':>10s} "
+        f"{'change':>8s} {'tol':>6s}  verdict"
+    ]
+    ok = True
+    for name, spec in sorted(baseline.get("metrics", {}).items()):
+        base = float(spec["value"])
+        direction = spec.get("direction", "lower")
+        tol = float(spec.get("tolerance", default_tol))
+        if name not in results:
+            lines.append(f"{name:55s} {base:10.3f} {'MISSING':>10s} {'':>8s} "
+                         f"{tol:6.0%}  FAIL (metric not reported)")
+            ok = False
+            continue
+        value = results[name]
+        reg = regression(value, base, direction)
+        verdict = "ok" if reg <= tol else "FAIL"
+        if reg > tol:
+            ok = False
+        arrow = "+" if value >= base else "-"
+        lines.append(
+            f"{name:55s} {base:10.3f} {value:10.3f} "
+            f"{arrow}{abs(value - base) / abs(base):7.1%} {tol:6.0%}  {verdict}"
+        )
+    for name in sorted(set(results) - set(baseline.get("metrics", {}))):
+        lines.append(f"{name:55s} {'-':>10s} {results[name]:10.3f} "
+                     f"{'':>8s} {'':>6s}  (ungated)")
+    return lines, ok
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="committed baseline JSON")
+    parser.add_argument("results", type=pathlib.Path, nargs="+",
+                        help="one or more --json bench outputs")
+    args = parser.parse_args(argv)
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        results = load_results(args.results)
+        lines, ok = compare(baseline, results)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"benchmark comparison failed: {exc}", file=sys.stderr)
+        return 1
+    print("\n".join(lines))
+    if not ok:
+        print("\nbenchmark regression detected (see FAIL rows above)", file=sys.stderr)
+        return 1
+    print("\nall gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

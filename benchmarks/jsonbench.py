@@ -1,0 +1,47 @@
+"""Script-mode plumbing for the benchmark-regression gate.
+
+Each gated bench module exposes a ``run_*_bench() -> dict`` function
+returning flat, machine-portable metrics, and calls :func:`main` when
+executed as a script::
+
+    PYTHONPATH=src python benchmarks/bench_solve_facade.py --json out.json
+
+The output JSON maps the bench name to its metrics dict::
+
+    {"bench_solve_facade": {"facade_vs_direct_ratio": 1.01, ...}}
+
+``benchmarks/compare_baseline.py`` consumes one or more of these files
+and checks them against the committed ``benchmarks/baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+from typing import Callable
+
+
+def main(name: str, runner: "Callable[[], dict]") -> None:
+    """Run *runner* and emit ``{name: metrics}`` as JSON.
+
+    ``--json PATH`` writes the file (and still prints the human
+    summary the bench emits on stdout); without it the JSON goes to
+    stdout after the summary.
+    """
+    parser = argparse.ArgumentParser(description=f"run {name} (regression-gate mode)")
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        default=None,
+        metavar="PATH",
+        help="write the metrics JSON here (default: print to stdout)",
+    )
+    args = parser.parse_args()
+    payload = {name: runner()}
+    text = json.dumps(payload, indent=2) + "\n"
+    if args.json is None:
+        print(text, end="")
+    else:
+        args.json.write_text(text)
+        print(f"wrote {args.json}")

@@ -2,7 +2,9 @@
 
 The offline environment lacks the ``wheel`` package that PEP 517/660
 editable installs require; this shim lets ``pip install -e .`` take the
-legacy ``setup.py develop`` route.  All metadata lives in pyproject.toml.
+legacy ``setup.py develop`` route.  All metadata lives in setup.cfg
+(deliberately *not* pyproject.toml: its presence would switch pip to
+the PEP 517 build-isolation path, which needs network access).
 """
 
 from setuptools import setup

@@ -13,7 +13,12 @@
   :func:`heur_p_intervals` (Algorithm 4), and the complete two-step
   heuristic :func:`heuristic_best`.
 * Exact references — :func:`pareto_dp_best` (tri-criteria exact DP, ours)
-  and :func:`brute_force_best` (exhaustive oracle for tiny instances).
+  and :func:`brute_force_best` (exhaustive oracle for tiny instances,
+  objective-aware).
+* Converse objectives (the tri-criteria facade) —
+  :func:`minimize_period` (binary search honoring a latency bound) and
+  :func:`minimize_latency` (Pareto-frontier scan under a reliability
+  floor).
 """
 
 from repro.algorithms.result import SolveResult
@@ -21,6 +26,7 @@ from repro.algorithms.dp_reliability import optimize_reliability
 from repro.algorithms.dp_period import (
     optimize_reliability_period,
     optimize_period_reliability,
+    minimize_period,
 )
 from repro.algorithms.allocation import algo_alloc, algo_alloc_het
 from repro.algorithms.heuristics import (
@@ -29,7 +35,7 @@ from repro.algorithms.heuristics import (
     heuristic_best,
     heuristic_candidates,
 )
-from repro.algorithms.pareto_dp import pareto_dp_best
+from repro.algorithms.pareto_dp import minimize_latency, pareto_dp_best
 from repro.algorithms.brute_force import (
     brute_force_best,
     enumerate_mappings_hom,
@@ -45,6 +51,8 @@ __all__ = [
     "optimize_reliability",
     "optimize_reliability_period",
     "optimize_period_reliability",
+    "minimize_period",
+    "minimize_latency",
     "algo_alloc",
     "algo_alloc_het",
     "heur_l_intervals",

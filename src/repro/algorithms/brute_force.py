@@ -133,8 +133,19 @@ def brute_force_best(
     max_latency: float = math.inf,
     worst_case: bool = True,
     budget: int = DEFAULT_BUDGET,
+    objective: str = "reliability",
+    min_log_reliability: float = -math.inf,
 ) -> SolveResult:
-    """Exhaustively find the most reliable mapping within the bounds.
+    """Exhaustively find the best mapping within the bounds.
+
+    ``objective="reliability"`` (the default) maximizes reliability.
+    The converse objectives minimize their criterion over the mappings
+    that satisfy the bounds *and* the ``min_log_reliability`` floor:
+    ``"period"`` / ``"latency"`` minimize the worst-case (or expected,
+    per *worst_case*) bound values, ``"energy"`` minimizes
+    :func:`repro.extensions.energy.mapping_energy` at its default
+    power-model parameters.  Ties break toward higher reliability, so
+    the oracle is deterministic for the cross-check.
 
     Parameters
     ----------
@@ -144,7 +155,16 @@ def brute_force_best(
     budget:
         Guard on the estimated search-space size; :class:`ValueError`
         when exceeded (use the polynomial algorithms instead).
+    objective:
+        One of :data:`repro.solve.OBJECTIVES`.
+    min_log_reliability:
+        Reliability floor as a log-probability (``-inf`` = no floor);
+        only meaningful for the converse objectives.
     """
+    if objective == "energy":
+        from repro.extensions.energy import mapping_energy
+    elif objective not in ("reliability", "period", "latency"):
+        raise ValueError(f"unknown objective {objective!r}")
     n, p, K = chain.n, platform.p, platform.max_replication
     hom = platform.homogeneous
     estimate = _search_space_hom(n, p, K) if hom else _search_space_het(n, p, K)
@@ -160,17 +180,35 @@ def brute_force_best(
         explored += 1
         ev = evaluate_mapping(mapping)
         if not ev.meets(
-            max_period=max_period, max_latency=max_latency, worst_case=worst_case
+            max_period=max_period,
+            max_latency=max_latency,
+            min_log_reliability=min_log_reliability,
+            worst_case=worst_case,
         ):
             continue
-        if best is None or ev.log_reliability > best[0]:
-            best = (ev.log_reliability, mapping, ev)
+        if objective == "reliability":
+            score = -ev.log_reliability
+        elif objective == "period":
+            score = ev.worst_case_period if worst_case else ev.expected_period
+        elif objective == "latency":
+            score = ev.worst_case_latency if worst_case else ev.expected_latency
+        else:
+            score = mapping_energy(mapping)
+        # Minimize the score; ties go to the more reliable mapping.
+        key = (score, -ev.log_reliability)
+        if best is None or key < best[0]:
+            best = (key, mapping, ev, score)
     if best is None:
-        return SolveResult.infeasible("brute-force", explored=explored)
+        return SolveResult.infeasible(
+            "brute-force", explored=explored, objective=objective
+        )
+    details = {"explored": explored, "objective": objective}
+    if objective == "energy":
+        details["energy"] = best[3]
     return SolveResult(
         feasible=True,
         mapping=best[1],
         evaluation=best[2],
         method="brute-force",
-        details={"explored": explored},
+        details=details,
     )

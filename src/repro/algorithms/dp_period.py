@@ -27,7 +27,11 @@ from repro.core.chain import TaskChain
 from repro.core.evaluation import evaluate_mapping
 from repro.core.platform import Platform
 
-__all__ = ["optimize_reliability_period", "optimize_period_reliability"]
+__all__ = [
+    "optimize_reliability_period",
+    "optimize_period_reliability",
+    "minimize_period",
+]
 
 
 def optimize_reliability_period(
@@ -134,6 +138,114 @@ def optimize_period_reliability(
         mapping=dp.mapping,
         evaluation=evaluate_mapping(dp.mapping),
         method="period-binary-search",
+        details={
+            "optimal_period": best_period,
+            "probes": probes,
+            "candidates": len(candidates),
+        },
+    )
+
+
+def minimize_period(
+    chain: TaskChain,
+    platform: Platform,
+    min_log_reliability: float = -math.inf,
+    max_period: float = math.inf,
+    max_latency: float = math.inf,
+) -> SolveResult:
+    """Minimize the period under a reliability floor *and* a latency bound.
+
+    The tri-criteria generalization of
+    :func:`optimize_period_reliability` (which it reduces to when
+    ``max_latency`` is infinite): binary search over
+    :func:`candidate_periods`, probing each candidate with the most
+    reliable mapping that satisfies both the candidate period and the
+    latency bound.  The probe is Algorithm 2
+    (:func:`~repro.algorithms._hom_dp.hom_reliability_dp`) when the
+    latency is unbounded and the exact Pareto DP
+    (:func:`~repro.algorithms.pareto_dp.pareto_dp_best`) otherwise —
+    both exact, so the binary search terminates with the exact optimum.
+
+    Parameters
+    ----------
+    min_log_reliability:
+        Reliability floor as a log-probability (``-inf`` = no floor:
+        minimize the period over all feasible mappings).
+    max_period:
+        Optional cap on the answer; the result is infeasible when even
+        the optimal period exceeds it.
+    max_latency:
+        Latency bound honored by every probe solve.
+
+    Examples
+    --------
+    >>> from repro.core import TaskChain, Platform
+    >>> chain = TaskChain([6.0, 6.0], [1.0, 0.0])
+    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-4,
+    ...                                      max_replication=2)
+    >>> minimize_period(chain, plat).details["optimal_period"]
+    6.0
+    """
+    require_homogeneous(platform, "period minimization")
+    if min_log_reliability > 0.0 or math.isnan(min_log_reliability):
+        raise ValueError("min_log_reliability must be a log-probability (<= 0)")
+    if max_period <= 0 or max_latency <= 0:
+        raise ValueError("bounds must be > 0")
+
+    def probe(period_bound: float):
+        """Best (feasible?, log-reliability, mapping) under the bounds."""
+        if math.isinf(max_latency):
+            dp = hom_reliability_dp(chain, platform, max_period=period_bound)
+            return dp.mapping is not None, dp.log_reliability, dp.mapping
+        from repro.algorithms.pareto_dp import pareto_dp_best
+
+        res = pareto_dp_best(
+            chain, platform, max_period=period_bound, max_latency=max_latency
+        )
+        return res.feasible, res.log_reliability, res.mapping
+
+    def meets(period_bound: float) -> "tuple[bool, object]":
+        feasible, ell, mapping = probe(period_bound)
+        return feasible and ell >= min_log_reliability, mapping
+
+    candidates = candidate_periods(chain, platform)
+    candidates = candidates[candidates <= max_period]
+    if len(candidates) == 0:
+        return SolveResult.infeasible(
+            "dp-period", reason="no candidate period within max_period"
+        )
+
+    # Feasibility check at the loosest admissible bound.  The witness
+    # mapping of the last successful probe is kept throughout: at loop
+    # exit it belongs to candidates[hi], so no final re-solve is needed.
+    ok, witness = meets(float(candidates[-1]))
+    if not ok:
+        return SolveResult.infeasible(
+            "dp-period",
+            min_log_reliability=min_log_reliability,
+            max_period=max_period,
+            max_latency=max_latency,
+        )
+
+    lo, hi = 0, len(candidates) - 1  # invariant: candidates[hi] admissible
+    probes = 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        probes += 1
+        ok, mapping = meets(float(candidates[mid]))
+        if ok:
+            hi = mid
+            witness = mapping
+        else:
+            lo = mid + 1
+    best_period = float(candidates[hi])
+    mapping = witness
+    assert mapping is not None
+    return SolveResult(
+        feasible=True,
+        mapping=mapping,
+        evaluation=evaluate_mapping(mapping),
+        method="dp-period",
         details={
             "optimal_period": best_period,
             "probes": probes,

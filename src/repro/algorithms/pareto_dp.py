@@ -19,6 +19,13 @@ complexity is exponential (consistent with Theorem 3: the frontier can
 grow with the number of distinct communication subsets), but frontier
 sizes stay tiny on practical instances, which makes this an effective
 exact method at the paper's experimental scale (n = 15).
+
+The same frontier answers the *converse* latency question
+(:func:`minimize_latency`, the Section 5.3 scope of the tri-criteria
+facade): the minimum-latency mapping whose reliability meets a floor is
+attained at a final Pareto point — any dominated mapping is beaten on
+both coordinates by a frontier one — so minimizing over the frontier's
+points with value above the floor is exact, at the cost of one DP run.
 """
 
 from __future__ import annotations
@@ -37,33 +44,32 @@ from repro.core.platform import Platform
 from repro.util import logrel
 from repro.util.pareto import ParetoFrontier
 
-__all__ = ["pareto_dp_best"]
+__all__ = ["pareto_dp_best", "minimize_latency"]
 
 
-def pareto_dp_best(
+class _DPRun:
+    """One Pareto-DP table plus the per-instance constants the
+    reconstruction walk needs (shared by both public entry points)."""
+
+    __slots__ = ("front", "prefix", "ell_comm", "s", "lam", "total_compute")
+
+    def __init__(self, front, prefix, ell_comm, s, lam, total_compute):
+        self.front = front
+        self.prefix = prefix
+        self.ell_comm = ell_comm
+        self.s = s
+        self.lam = lam
+        self.total_compute = total_compute
+
+
+def _run_dp(
     chain: TaskChain,
     platform: Platform,
-    max_period: float = math.inf,
-    max_latency: float = math.inf,
-) -> SolveResult:
-    """Most reliable homogeneous mapping under period and latency bounds.
-
-    Exact.  With ``max_latency = inf`` this reduces to Algorithm 2, and
-    with both bounds infinite to Algorithm 1 (both reductions are tested).
-
-    Examples
-    --------
-    >>> from repro.core import TaskChain, Platform
-    >>> chain = TaskChain([6.0, 6.0], [4.0, 0.0])
-    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-6,
-    ...                                      max_replication=2)
-    >>> res = pareto_dp_best(chain, plat, max_period=7.0, max_latency=17.0)
-    >>> res.mapping.m     # split needed for P, allowed by L
-    2
-    """
-    require_homogeneous(platform, "the exact Pareto DP")
-    if max_period <= 0 or max_latency <= 0:
-        raise ValueError("bounds must be > 0")
+    max_period: float,
+    comm_budget: float,
+) -> _DPRun:
+    """Fill the frontier table ``front[i][k]`` for prefixes of *i* tasks
+    on exactly *k* processors (see the module docstring)."""
     n, p = chain.n, platform.p
     kmax = min(platform.max_replication, p)
     s = float(platform.speeds[0])
@@ -72,12 +78,6 @@ def pareto_dp_best(
 
     prefix = np.concatenate(([0.0], np.cumsum(chain.work)))
     total_compute = float(prefix[-1]) / s
-    comm_budget = max_latency - total_compute
-    if comm_budget < 0:
-        # Even a zero-communication partition exceeds the latency bound.
-        return SolveResult.infeasible(
-            "pareto-dp", reason="latency below compute lower bound"
-        )
 
     ell_comm = [comm_log_reliability(platform, chain.input_of(j)) for j in range(n)]
     ell_comm.append(comm_log_reliability(platform, chain.output_of(n)))
@@ -125,29 +125,21 @@ def pareto_dp_best(
                             (j, k_prev, q, cost),
                         )
 
-    # Pick the best final state within the communication budget.
-    best: tuple[float, int, float] | None = None  # (logrel, k, cost)
-    for k in range(1, p + 1):
-        fr = front[n][k]
-        if fr is None:
-            continue
-        hit = fr.best_value_within(comm_budget)
-        if hit is None:
-            continue
-        value, _ = hit
-        if best is None or value > best[0]:
-            # Locate the exact point for reconstruction below.
-            for cost, val, _pl in fr:
-                if val == value:
-                    best = (value, k, cost)
-                    break
-    if best is None:
-        return SolveResult.infeasible("pareto-dp")
+    return _DPRun(front, prefix, ell_comm, s, lam, total_compute)
 
-    # Reconstruct by walking payloads backwards.
+
+def _reconstruct(
+    chain: TaskChain,
+    platform: Platform,
+    run: _DPRun,
+    value: float,
+    k: int,
+    cost: float,
+) -> Mapping:
+    """Walk the frontier payloads backwards from a final state."""
+    front = run.front
     pieces: list[tuple[int, int, int]] = []
-    value, k, cost = best
-    i = n
+    i = chain.n
     while i > 0:
         fr = front[i][k]
         assert fr is not None
@@ -160,8 +152,8 @@ def pareto_dp_best(
         j, k_prev, q, parent_cost = payload
         pieces.append((j, i, q))
         # Recompute the parent's value to continue the walk.
-        work = float(prefix[i] - prefix[j])
-        ell_branch = ell_comm[j] - lam * work / s + ell_comm[i]
+        work = float(run.prefix[i] - run.prefix[j])
+        ell_branch = run.ell_comm[j] - run.lam * work / run.s + run.ell_comm[i]
         value = value - logrel.parallel_k(ell_branch, q)
         # Guard against float drift: snap to the closest parent point.
         parent_fr = front[j][k_prev]
@@ -182,11 +174,164 @@ def pareto_dp_best(
     for a, z, q in pieces:
         assignment.append((Interval(a, z), tuple(range(nxt, nxt + q))))
         nxt += q
-    mapping = Mapping(chain, platform, assignment)
+    return Mapping(chain, platform, assignment)
+
+
+def pareto_dp_best(
+    chain: TaskChain,
+    platform: Platform,
+    max_period: float = math.inf,
+    max_latency: float = math.inf,
+) -> SolveResult:
+    """Most reliable homogeneous mapping under period and latency bounds.
+
+    Exact.  With ``max_latency = inf`` this reduces to Algorithm 2, and
+    with both bounds infinite to Algorithm 1 (both reductions are tested).
+
+    Examples
+    --------
+    >>> from repro.core import TaskChain, Platform
+    >>> chain = TaskChain([6.0, 6.0], [4.0, 0.0])
+    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-6,
+    ...                                      max_replication=2)
+    >>> res = pareto_dp_best(chain, plat, max_period=7.0, max_latency=17.0)
+    >>> res.mapping.m     # split needed for P, allowed by L
+    2
+    """
+    require_homogeneous(platform, "the exact Pareto DP")
+    if max_period <= 0 or max_latency <= 0:
+        raise ValueError("bounds must be > 0")
+    n, p = chain.n, platform.p
+
+    prefix = np.concatenate(([0.0], np.cumsum(chain.work)))
+    total_compute = float(prefix[-1]) / float(platform.speeds[0])
+    comm_budget = max_latency - total_compute
+    if comm_budget < 0:
+        # Even a zero-communication partition exceeds the latency bound.
+        return SolveResult.infeasible(
+            "pareto-dp", reason="latency below compute lower bound"
+        )
+
+    run = _run_dp(chain, platform, max_period, comm_budget)
+    front = run.front
+
+    # Pick the best final state within the communication budget.
+    best: tuple[float, int, float] | None = None  # (logrel, k, cost)
+    for k in range(1, p + 1):
+        fr = front[n][k]
+        if fr is None:
+            continue
+        hit = fr.best_value_within(comm_budget)
+        if hit is None:
+            continue
+        value, _ = hit
+        if best is None or value > best[0]:
+            # Locate the exact point for reconstruction below.
+            for cost, val, _pl in fr:
+                if val == value:
+                    best = (value, k, cost)
+                    break
+    if best is None:
+        return SolveResult.infeasible("pareto-dp")
+
+    value, k, cost = best
+    mapping = _reconstruct(chain, platform, run, value, k, cost)
     return SolveResult(
         feasible=True,
         mapping=mapping,
         evaluation=evaluate_mapping(mapping),
         method="pareto-dp",
         details={"frontier_final_size": sum(len(f) for f in front[n] if f)},
+    )
+
+
+def minimize_latency(
+    chain: TaskChain,
+    platform: Platform,
+    min_log_reliability: float = -math.inf,
+    max_period: float = math.inf,
+    max_latency: float = math.inf,
+) -> SolveResult:
+    """Minimize the latency under a reliability floor and a period bound.
+
+    Exact on homogeneous platforms.  The latency of a mapping is
+    ``W_total / s`` plus its accumulated communication term, and the
+    minimum-latency mapping meeting the floor is attained at a final
+    Pareto point of the same DP :func:`pareto_dp_best` runs (any
+    non-frontier mapping is dominated on both coordinates).  One DP run
+    with the latency budget as the pruning bound, then a scan of the
+    final frontiers for the cheapest point whose value meets the floor.
+
+    Parameters
+    ----------
+    min_log_reliability:
+        Reliability floor as a log-probability (``-inf`` = no floor:
+        minimize latency over all mappings within the period bound).
+    max_period:
+        Period bound honored by every candidate interval.
+    max_latency:
+        Optional cap on the answer; the result is infeasible when even
+        the optimal latency exceeds it.
+
+    Examples
+    --------
+    >>> from repro.core import TaskChain, Platform
+    >>> chain = TaskChain([6.0, 6.0], [4.0, 0.0])
+    >>> plat = Platform.homogeneous_platform(4, failure_rate=1e-6,
+    ...                                      max_replication=2)
+    >>> minimize_latency(chain, plat).details["optimal_latency"]  # 1 interval
+    12.0
+    >>> minimize_latency(chain, plat, max_period=7.0).details["optimal_latency"]
+    16.0
+    """
+    require_homogeneous(platform, "latency minimization")
+    if min_log_reliability > 0.0 or math.isnan(min_log_reliability):
+        raise ValueError("min_log_reliability must be a log-probability (<= 0)")
+    if max_period <= 0 or max_latency <= 0:
+        raise ValueError("bounds must be > 0")
+    n, p = chain.n, platform.p
+
+    prefix = np.concatenate(([0.0], np.cumsum(chain.work)))
+    total_compute = float(prefix[-1]) / float(platform.speeds[0])
+    comm_budget = max_latency - total_compute
+    if comm_budget < 0:
+        return SolveResult.infeasible(
+            "dp-latency", reason="latency cap below compute lower bound"
+        )
+
+    run = _run_dp(chain, platform, max_period, comm_budget)
+    front = run.front
+
+    # Cheapest final point meeting the floor; ties broken by value, so
+    # equal-latency mappings resolve to the most reliable one.
+    best: tuple[float, float, int] | None = None  # (cost, -logrel, k)
+    for k in range(1, p + 1):
+        fr = front[n][k]
+        if fr is None:
+            continue
+        for cost, value, _payload in fr:
+            if value < min_log_reliability:
+                continue
+            key = (cost, -value, k)
+            if best is None or key < best:
+                best = key
+    if best is None:
+        return SolveResult.infeasible(
+            "dp-latency",
+            min_log_reliability=min_log_reliability,
+            max_period=max_period,
+            max_latency=max_latency,
+        )
+
+    cost, neg_value, k = best
+    mapping = _reconstruct(chain, platform, run, -neg_value, k, cost)
+    return SolveResult(
+        feasible=True,
+        mapping=mapping,
+        evaluation=evaluate_mapping(mapping),
+        method="dp-latency",
+        details={
+            "optimal_latency": total_compute + cost,
+            "frontier_final_size": sum(len(f) for f in front[n] if f),
+        },
     )

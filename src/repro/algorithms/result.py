@@ -58,6 +58,36 @@ class SolveResult:
             return 1.0
         return self.evaluation.failure_probability
 
+    def objective_value(self, objective: str = "reliability") -> float:
+        """The solved mapping's value under one of the facade objectives.
+
+        ``"reliability"`` returns the plain reliability (0.0 when
+        infeasible); the minimized criteria return the achieved
+        worst-case period / worst-case latency / energy (``inf`` when
+        infeasible).  Energy reads ``details["energy"]`` when the
+        producing method recorded it (same power-model parameters as
+        the solve) and falls back to
+        :func:`repro.extensions.energy.mapping_energy` defaults.
+        """
+        if objective == "reliability":
+            if self.evaluation is None:
+                return 0.0
+            return self.evaluation.reliability
+        if not self.feasible or self.evaluation is None:
+            return float("inf")
+        if objective == "period":
+            return self.evaluation.worst_case_period
+        if objective == "latency":
+            return self.evaluation.worst_case_latency
+        if objective == "energy":
+            if "energy" in self.details:
+                return float(self.details["energy"])
+            from repro.extensions.energy import mapping_energy
+
+            assert self.mapping is not None
+            return mapping_energy(self.mapping)
+        raise ValueError(f"unknown objective {objective!r}")
+
     @staticmethod
     def infeasible(method: str, **details: Any) -> "SolveResult":
         """Shorthand for a no-solution outcome."""

@@ -4,8 +4,10 @@ Commands
 --------
 ``solve``
     Find the best mapping for an instance (JSON files for the chain and
-    platform), with optional period/latency bounds and a choice of
-    method.
+    platform), with optional period/latency bounds, a choice of method,
+    and a choice of objective: maximize reliability (the default), or
+    minimize period/latency/energy under a ``--min-reliability`` floor
+    (the tri-criteria facade; see :data:`repro.solve.OBJECTIVES`).
 ``evaluate``
     Print the Section 4 objectives of a mapping (JSON file).
 ``simulate``
@@ -66,9 +68,16 @@ from repro.solve import Problem, solve
 __all__ = ["main", "build_parser"]
 
 #: Method choices for ``repro solve`` — all registry names now, with
-#: "auto" resolved by the facade (exact on homogeneous platforms,
-#: heuristics otherwise).
-SOLVE_METHODS = ("auto", "ilp", "pareto-dp", "heuristic", "brute-force")
+#: "auto" resolved by the facade (per platform *and* objective: exact
+#: on homogeneous platforms, heuristics otherwise; objective-native
+#: methods for the converse criteria).
+SOLVE_METHODS = (
+    "auto", "ilp", "pareto-dp", "heuristic", "brute-force",
+    "dp-period", "dp-latency", "energy-greedy",
+)
+
+#: Objective choices surfaced by the CLI (mirrors repro.solve.OBJECTIVES).
+OBJECTIVE_CHOICES = ("reliability", "period", "latency", "energy")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,7 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--method",
         choices=sorted(SOLVE_METHODS),
         default="auto",
-        help="'auto' = exact on homogeneous platforms, heuristics otherwise",
+        help="'auto' = exact on homogeneous platforms, heuristics otherwise "
+        "(objective-native methods for --objective period/latency/energy)",
+    )
+    solve.add_argument(
+        "--objective",
+        choices=OBJECTIVE_CHOICES,
+        default="reliability",
+        help="what to optimize: maximize reliability (default) or minimize "
+        "period/latency/energy under --min-reliability",
+    )
+    solve.add_argument(
+        "--min-reliability",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="reliability floor in [0, 1) for the converse objectives "
+        "(default 0 = no floor)",
     )
     solve.add_argument("--output", type=pathlib.Path, help="write the mapping JSON here")
 
@@ -173,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="which bound --grid auto sweeps (default period)")
     run.add_argument("--max-period", type=float, default=math.inf)
     run.add_argument("--max-latency", type=float, default=math.inf)
+    run.add_argument("--objective", choices=OBJECTIVE_CHOICES, default="reliability",
+                     help="objective carried by every solve (default reliability); "
+                     "the planner only selects methods that support it")
+    run.add_argument("--min-reliability", type=float, default=0.0, metavar="R",
+                     help="reliability floor in [0, 1) for the converse objectives")
     run.add_argument("--jobs", type=int, default=None,
                      help="worker processes (default $REPRO_JOBS or 1)")
     run.add_argument("--cache-dir", type=pathlib.Path, default=None,
@@ -196,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pshow.add_argument("--methods", nargs="+", default=None, metavar="METHOD",
                        help="explicit candidates (default: the whole registry)")
+    pshow.add_argument("--objective", choices=OBJECTIVE_CHOICES,
+                       default="reliability",
+                       help="plan for this objective (methods that do not "
+                       "support it are skipped with a reason)")
     pshow.add_argument("--max-exact-tasks", type=int, default=None,
                        help="size threshold past which exact methods are skipped")
     pshow.add_argument("--max-exact-procs", type=int, default=None,
@@ -220,7 +254,7 @@ def _load(path: pathlib.Path, expected: type) -> object:
     return obj
 
 
-def _print_solution(result) -> None:
+def _print_solution(result, objective: str = "reliability") -> None:
     if not result.feasible:
         print(f"infeasible ({result.method})")
         return
@@ -231,19 +265,23 @@ def _print_solution(result) -> None:
     print(f"log reliability  : {ev.log_reliability:.6e}")
     print(f"worst-case period: {ev.worst_case_period:g}")
     print(f"worst-case latency: {ev.worst_case_latency:g}")
+    if objective != "reliability":
+        print(f"objective ({objective}): {result.objective_value(objective):g}")
 
 
 def _cmd_solve(args) -> int:
     chain = _load(args.chain, TaskChain)
     platform = _load(args.platform, Platform)
-    problem = Problem(
-        chain, platform, max_period=args.max_period, max_latency=args.max_latency
-    )
     try:
+        problem = Problem(
+            chain, platform,
+            max_period=args.max_period, max_latency=args.max_latency,
+            objective=args.objective, min_reliability=args.min_reliability,
+        )
         result = solve(problem, method=args.method)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    _print_solution(result)
+    _print_solution(result, objective=args.objective)
     if result.feasible and args.output:
         args.output.write_text(dumps(result.mapping, indent=2))
         print(f"wrote {args.output}")
@@ -373,6 +411,9 @@ def _cmd_experiment(args) -> int:
                 # cache-key scenario component) plus the registry-style
                 # describe() record.
                 "scenario": _scenario_record(exp.scenario_spec, exp.scenario_key),
+                # How the paper-methods candidate set survived the
+                # planner's gates (selection is derived, not hard-coded).
+                "plan": exp.plan.describe() if exp.plan is not None else None,
             }
         )
         if not args.quiet:
@@ -489,11 +530,13 @@ def _cmd_scenario(args) -> int:
 
     # The scenario-aware planner picks and orders the methods —
     # explicitly requested ones still pass through its hard capability
-    # gates, so e.g. an exact solver on a heterogeneous scenario is
-    # skipped with a recorded reason instead of crashing the sweep.
+    # gates, so e.g. an exact solver on a heterogeneous scenario (or a
+    # reliability heuristic under --objective period) is skipped with a
+    # recorded reason instead of crashing the sweep.
     plan = Planner().plan(
         entry if entry is not None and entry.spec == spec else spec,
         methods=args.methods,
+        objective=args.objective,
     )
     for skip in plan.skipped:
         if args.methods:
@@ -521,12 +564,17 @@ def _cmd_scenario(args) -> int:
     else:
         instances = ensemble
 
+    # One cache shared by the grid probes and the sweep units, so the
+    # manifest's hit/miss counters cover the whole run.
+    cache = resolve_cache(args.cache_dir)
+
     grid_record = None
     if args.grid == "auto":
         t0 = time.perf_counter()
         try:
             grid = derive_bounds_grid(
-                instances, n_points=args.grid_points, seed=args.seed
+                instances, n_points=args.grid_points, seed=args.seed,
+                cache=cache,
             )
         except ValueError as exc:
             raise SystemExit(str(exc))
@@ -548,17 +596,21 @@ def _cmd_scenario(args) -> int:
             "max_latency": encode_bound(args.max_latency),
         }
 
-    cache = resolve_cache(args.cache_dir)
     t0 = time.perf_counter()
-    sweep = run_sweep(
-        instances,
-        methods,
-        bounds,
-        xs=xs,
-        jobs=args.jobs,
-        cache=cache,
-        scenario_key=spec_hash,
-    )
+    try:
+        sweep = run_sweep(
+            instances,
+            methods,
+            bounds,
+            xs=xs,
+            jobs=args.jobs,
+            cache=cache,
+            scenario_key=spec_hash,
+            objective=args.objective,
+            min_reliability=args.min_reliability,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     sweep_seconds = time.perf_counter() - t0
 
     if len(bounds) == 1:
@@ -595,6 +647,8 @@ def _cmd_scenario(args) -> int:
         "scenario": _scenario_record(spec, spec_hash, entry),
         "seed": args.seed,
         "n_instances": n,
+        "objective": args.objective,
+        "min_reliability": args.min_reliability,
         "plan": plan.describe(),
         "grid": grid_record,
         "points": [[encode_bound(P), encode_bound(L)] for P, L in bounds],
@@ -637,7 +691,9 @@ def _cmd_plan(args) -> int:
         config["include_stochastic"] = True
     try:
         plan = Planner(**config).plan(
-            entry if entry is not None else spec, methods=args.methods
+            entry if entry is not None else spec,
+            methods=args.methods,
+            objective=args.objective,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(str(exc))

@@ -23,8 +23,14 @@ bounds, objective, method identity, per-unit seed, repro release)
 changes, because a different key simply never matches.  Each entry
 holds::
 
-    {"repro_cache": 1, "method": ..., "n_points": ...,
+    {"repro_cache": CACHE_FORMAT, "method": ..., "n_points": ...,
      "solved": [...bools...], "failure": [...floats...]}
+
+Next to sweep units the cache also stores **grid-probe records**
+(:meth:`ResultCache.put_record` under :meth:`ResultCache.probe_key`):
+the per-instance unbounded-solve scalars
+:func:`repro.solve.derive_bounds_grid` needs, so ``--grid auto`` is
+free on a warm cache.
 
 Corrupted or truncated entries (interrupted writes, disk faults) are
 treated as misses and deleted, so recovery is automatic: the unit is
@@ -57,10 +63,13 @@ from repro.solve.problem import Problem, encode_bound
 
 __all__ = ["CACHE_FORMAT", "ResultCache", "resolve_cache"]
 
-#: Bumped to 2 with the :mod:`repro.solve` redesign: keys are now
-#: derived from per-point Problem content hashes, so format-1 entries
-#: can never be addressed (or replayed) by the new keys.
-CACHE_FORMAT = 2
+#: Bumped to 2 with the :mod:`repro.solve` redesign (keys derived from
+#: per-point Problem content hashes), and to 3 with the tri-criteria
+#: facade: Problem payloads gained ``objective``/``min_reliability``
+#: fields (all content hashes moved) and the cache now also stores
+#: grid-probe records (:meth:`ResultCache.put_record`) next to sweep
+#: units.  Format-2 entries can never be addressed by format-3 keys.
+CACHE_FORMAT = 3
 
 
 class ResultCache:
@@ -142,6 +151,35 @@ class ResultCache:
             ],
         )
 
+    def probe_key(
+        self,
+        method_name: str,
+        problem: Problem,
+        fingerprint: "str | None" = None,
+    ) -> str:
+        """Content hash identifying one grid-probe solve's record.
+
+        :func:`repro.solve.derive_bounds_grid` solves every ensemble
+        instance once, unbounded, and keeps the solution's worst-case
+        period and latency — scalars a sweep unit does not store.  The
+        probe key addresses that record: same ingredients as
+        :meth:`unit_key` (method identity, package version, the
+        problem's content hash) under a distinct ``kind`` tag, so probe
+        records and sweep units can never collide.
+        """
+        from repro import __version__
+
+        return content_hash(
+            {
+                "repro_cache": CACHE_FORMAT,
+                "repro_version": __version__,
+                "kind": "grid-probe",
+                "method": method_name,
+                "fingerprint": fingerprint,
+            },
+            problem.content_hash(),
+        )
+
     def _path(self, key: str) -> pathlib.Path:
         return self.root / key[:2] / f"{key}.json"
 
@@ -178,15 +216,51 @@ class ResultCache:
 
     def put(self, key: str, solved: np.ndarray, failure: np.ndarray, method_name: str = "") -> None:
         """Store one unit's arrays atomically (temp file + rename)."""
+        self.put_record(
+            key,
+            {
+                "method": method_name,
+                "n_points": int(len(solved)),
+                "solved": [bool(s) for s in solved],
+                "failure": [float(f) for f in failure],
+            },
+        )
+
+    # -- generic records (grid probes) -----------------------------------
+
+    def get_record(self, key: str) -> "dict | None":
+        """Return a JSON record stored by :meth:`put_record`, or None.
+
+        Same recovery contract as :meth:`get`: malformed or
+        wrong-format entries count as misses and are deleted.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("repro_cache") != CACHE_FORMAT:
+                raise ValueError("cache format mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload
+
+    def put_record(self, key: str, record: dict) -> None:
+        """Store a JSON-able record atomically (temp file + rename).
+
+        The format stamp is added here; everything else is the
+        caller's payload.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "repro_cache": CACHE_FORMAT,
-            "method": method_name,
-            "n_points": int(len(solved)),
-            "solved": [bool(s) for s in solved],
-            "failure": [float(f) for f in failure],
-        }
+        payload = {"repro_cache": CACHE_FORMAT, **record}
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:

@@ -7,6 +7,12 @@ DESIGN.md commits to a validation chain —
     Eq. (9)  ==  routed RBD (series-parallel  ==  factoring  ==  enumeration)
     simulation  ~  Eq. (9)   (within confidence intervals)
 
+— and, since the facade went tri-criteria, the converse-objective links
+
+    dp-period   ==  brute force(objective="period")
+    dp-latency  ==  brute force(objective="latency")
+    energy-greedy  ⊆  brute force(objective="energy")   (bounds + floor honored)
+
 — and the unit tests check each link on fixed instances.  This module
 runs the *whole chain* over a randomized instance population and
 produces a machine-checkable report, so a regression anywhere in the
@@ -73,6 +79,7 @@ class CrosscheckReport:
     heuristic_violations: int = 0
     rbd_disagreements: int = 0
     simulation_outliers: int = 0
+    objective_disagreements: int = 0
     details: list[str] = field(default_factory=list)
 
     @property
@@ -83,6 +90,7 @@ class CrosscheckReport:
             self.solver_disagreements == 0
             and self.heuristic_violations == 0
             and self.rbd_disagreements == 0
+            and self.objective_disagreements == 0
         )
 
     def summary(self) -> str:
@@ -91,6 +99,7 @@ class CrosscheckReport:
             f"{self.solver_disagreements} solver disagreements, "
             f"{self.heuristic_violations} heuristic violations, "
             f"{self.rbd_disagreements} RBD disagreements, "
+            f"{self.objective_disagreements} objective disagreements, "
             f"{self.simulation_outliers} simulation CI misses"
         )
 
@@ -109,6 +118,7 @@ def _check_instance(
     p: int,
     simulate: bool,
     instance: "tuple[dict, dict] | None" = None,
+    objectives: bool = True,
 ) -> dict:
     """Run the full validation chain on one seeded instance.
 
@@ -127,6 +137,7 @@ def _check_instance(
         "heuristic_violation": False,
         "rbd_disagreement": False,
         "simulation_outlier": False,
+        "objective_disagreement": False,
         "details": [],
     }
     if instance is not None:
@@ -183,6 +194,66 @@ def _check_instance(
     mapping = bf.mapping
     assert mapping is not None
 
+    # --- converse objectives (tri-criteria facade) ----------------
+    # A floor strictly below the bounded optimum keeps every converse
+    # problem feasible (the bf mapping itself witnesses it), so the
+    # exact methods must agree with the objective-aware oracle.
+    if objectives:
+        floor_ell = bf.log_reliability * float(rng.uniform(1.0, 2.0))
+        floor = float(math.exp(floor_ell))
+        if floor >= 1.0:  # pragma: no cover - positive failure rates
+            floor = 0.0
+        for objective, exact_name, bound_kw in (
+            ("period", "dp-period", {"max_latency": L}),
+            ("latency", "dp-latency", {"max_period": P}),
+        ):
+            converse = Problem(
+                chain, platform,
+                objective=objective, min_reliability=floor, **bound_kw,
+            )
+            oracle = solve(converse, method="brute-force")
+            exact = solve(converse, method=exact_name)
+            if exact.feasible != oracle.feasible or (
+                oracle.feasible
+                and not _close(
+                    exact.objective_value(objective),
+                    oracle.objective_value(objective),
+                )
+            ):
+                record["objective_disagreement"] = True
+                record["details"].append(
+                    f"{exact_name} disagrees with brute force: "
+                    f"{exact.objective_value(objective)} vs "
+                    f"{oracle.objective_value(objective)}"
+                )
+        energy_problem = Problem(
+            chain, platform,
+            max_period=P, max_latency=L,
+            objective="energy", min_reliability=floor,
+        )
+        oracle = solve(energy_problem, method="brute-force")
+        greedy = solve(energy_problem, method="energy-greedy")
+        if greedy.feasible:
+            ev = greedy.evaluation
+            assert ev is not None
+            # The greedy may miss a feasible mapping (it is a Section 7
+            # heuristic at heart) but must never undercut the exact
+            # optimum or violate the bounds/floor it was given.
+            if (
+                not ev.meets(
+                    max_period=P, max_latency=L,
+                    min_log_reliability=energy_problem.min_log_reliability,
+                )
+                or greedy.objective_value("energy")
+                < oracle.objective_value("energy") * (1.0 - EXACT_RTOL)
+            ):
+                record["objective_disagreement"] = True
+                record["details"].append(
+                    f"energy-greedy beat the oracle or broke its bounds: "
+                    f"{greedy.objective_value('energy')} vs "
+                    f"{oracle.objective_value('energy')}"
+                )
+
     # --- RBD representations -------------------------------------
     want = mapping_log_reliability(mapping)
     rbd = rbd_with_routing(mapping)
@@ -212,6 +283,7 @@ def run_crosscheck(
     simulate: bool = True,
     jobs: "int | None" = None,
     scenario: "str | ScenarioSpec | Scenario | None" = None,
+    objectives: bool = True,
 ) -> CrosscheckReport:
     """Run the full validation chain over a random instance population.
 
@@ -224,6 +296,12 @@ def run_crosscheck(
 
     Parameters
     ----------
+    objectives:
+        Also validate the converse-objective links (period-/latency-
+        minimizing DPs against the objective-aware brute force, and the
+        energy greedy's bounds/optimality invariants) at a randomized
+        reliability floor below each instance's bounded optimum.  On
+        by default; switch off to time the reliability chain alone.
     scenario:
         Optional scenario-driven population: a registered scenario
         name, a bare :class:`~repro.scenarios.spec.ScenarioSpec` (e.g.
@@ -283,7 +361,7 @@ def run_crosscheck(
     seeds = spawn_seeds(master, n_instances)
     if jobs == 1 or n_instances <= 1:
         records = [
-            _check_instance(s, n_tasks, p, simulate, inst)
+            _check_instance(s, n_tasks, p, simulate, inst, objectives)
             for s, inst in zip(seeds, payloads)
         ]
     else:
@@ -296,6 +374,7 @@ def run_crosscheck(
                     [p] * n_instances,
                     [simulate] * n_instances,
                     payloads,
+                    [objectives] * n_instances,
                 )
             )
     report = CrosscheckReport()
@@ -305,5 +384,6 @@ def run_crosscheck(
         report.heuristic_violations += record["heuristic_violation"]
         report.rbd_disagreements += record["rbd_disagreement"]
         report.simulation_outliers += record["simulation_outlier"]
+        report.objective_disagreements += record["objective_disagreement"]
         report.details.extend(record["details"])
     return report

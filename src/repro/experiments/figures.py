@@ -34,8 +34,8 @@ from typing import Callable
 import numpy as np
 
 from repro.experiments.harness import SweepResult, run_sweep
-from repro.experiments.methods import get_method
 from repro.scenarios import generate_instances, get_scenario, scenario_hash
+from repro.solve.planner import Plan, Planner
 
 __all__ = [
     "EXPERIMENTS",
@@ -141,7 +141,9 @@ class ExperimentResult:
     workload the suites were materialized from (the sized
     ``section8-*`` spec and its content hash) — the manifest written
     by ``python -m repro experiment`` embeds both, so a run record is
-    self-describing.
+    self-describing.  ``plan`` records how the paper-methods candidate
+    set survived :meth:`repro.solve.Planner.plan` (the method list is
+    derived, not hard-coded — skip reasons included).
     """
 
     spec: ExperimentSpec
@@ -152,6 +154,7 @@ class ExperimentResult:
     exact_method: str
     scenario_spec: "object | None" = None
     scenario_key: "str | None" = None
+    plan: "Plan | None" = None
 
 
 @dataclass
@@ -207,31 +210,44 @@ def run_experiment(
     xs = spec.sweep(grid)
     bounds = [spec.bounds(float(x)) for x in xs]
 
+    # The paper's methods per experiment kind are an explicit *candidate*
+    # set; the scenario-aware planner — not this module — decides which
+    # of them actually run (hard capability gates, expensive-first
+    # order), so a plan with skip reasons documents every figure run.
+    if spec.kind == "hom":
+        candidates = [exact_method, "heur-l", "heur-p"]
+        scn = get_scenario("section8-hom").spec.with_(n_instances=n_instances)
+    else:
+        # The "-paper" variants select best reliability before checking
+        # bounds — the reading of Section 7 that reproduces Fig. 12's
+        # non-monotone heterogeneous curves (identical on hom platforms).
+        candidates = ["heur-l-paper", "heur-p-paper"]
+        scn = get_scenario("section8-het").spec.with_(n_instances=n_instances)
+    plan = Planner().plan(scn, methods=candidates)
+    if not plan.selected:  # pragma: no cover - paper dims pass the gates
+        reasons = "; ".join(f"{s.method}: {s.reason}" for s in plan.skipped)
+        raise ValueError(
+            f"planner rejected every candidate method for {experiment!r} ({reasons})"
+        )
+    methods = plan.methods()
+    scn_hash = scenario_hash(scn)
+
     sweeps: dict[str, SweepResult] = {}
     if spec.kind == "hom":
         # The Section 8.1 suite, materialized from its declarative spec
         # (bit-identical to the legacy homogeneous_suite for any seed).
-        scn = get_scenario("section8-hom").spec.with_(n_instances=n_instances)
         instances = generate_instances(scn, seed=seed)
-        methods = [get_method(exact_method), get_method("heur-l"), get_method("heur-p")]
-        scn_hash = scenario_hash(scn)
         sweeps["hom"] = run_sweep(
             instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
             scenario_key=scn_hash,
         )
     else:
-        scn = get_scenario("section8-het").spec.with_(n_instances=n_instances)
         pairs = generate_instances(scn, seed=seed)
-        # The "-paper" variants select best reliability before checking
-        # bounds — the reading of Section 7 that reproduces Fig. 12's
-        # non-monotone heterogeneous curves (identical on hom platforms).
-        methods = [get_method("heur-l-paper"), get_method("heur-p-paper")]
         het_instances = [(p.chain, p.het_platform) for p in pairs]
         hom_instances = [(p.chain, p.hom_platform) for p in pairs]
         # One scenario hash for both sides: the unit keys already hash
         # each instance's platform, so het/hom units cannot collide —
         # and a direct run_sweep("section8-het", ...) shares this cache.
-        scn_hash = scenario_hash(scn)
         sweeps["het"] = run_sweep(
             het_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
             scenario_key=scn_hash,
@@ -249,6 +265,7 @@ def run_experiment(
         exact_method=exact_method,
         scenario_spec=scn,
         scenario_key=scn_hash,
+        plan=plan,
     )
 
 

@@ -263,6 +263,8 @@ def run_sweep(
     seed: int = 0,
     n_instances: "int | None" = None,
     scenario_key: "str | None" = None,
+    objective: str = "reliability",
+    min_reliability: float = 0.0,
 ) -> SweepResult:
     """Run every method on every instance at every bound point.
 
@@ -299,6 +301,16 @@ def run_sweep(
         Explicit cache-key scenario component (overrides the derived
         spec hash; used by the experiment runners to distinguish the
         two sides of a paired scenario).
+    objective, min_reliability:
+        Forwarded to every unit's base :class:`~repro.solve.Problem`,
+        so a sweep can count e.g. how many instances admit a
+        period-minimizing mapping above a reliability floor as the
+        latency bound varies.  Both are part of the Problem content
+        the cache keys hash, so sweeps over different objectives (or
+        floors) never share entries.  Methods that do not declare the
+        objective raise up front, exactly like a homogeneous-only
+        method on a heterogeneous platform — plan with
+        :meth:`repro.solve.Planner.plan` to pre-filter.
     """
     instances, scenario_key = _resolve_instances(instances, seed, n_instances, scenario_key)
     if not instances:
@@ -307,10 +319,16 @@ def run_sweep(
         raise ValueError("need at least one sweep point")
     # One unbounded base Problem per instance; each unit bounds it per
     # sweep point (the Problem family is also what the cache hashes).
-    bases = [Problem(chain, platform) for chain, platform in instances]
+    bases = [
+        Problem(
+            chain, platform,
+            objective=objective, min_reliability=min_reliability,
+        )
+        for chain, platform in instances
+    ]
     for method in methods:
         for base in bases:
-            method.check_platform(base.platform)
+            method.check_problem(base)
 
     if xs is None:
         periods = {p for p, _ in bounds}

@@ -30,9 +30,26 @@ Built-in methods:
   reading of Section 7 (see the inline note below).
 * ``"brute-force"`` — exhaustive search for tiny instances (the
   cross-check's ground truth; guarded by a search-space budget).
+  Objective-aware: it answers *any* :data:`repro.solve.OBJECTIVES`
+  entry exactly, which is what the converse-objective cross-checks
+  compare against.
 * ``"anneal"`` — the simulated-annealing extension; *stochastic*, so the
   harness hands it a deterministic per-unit seed (see
   :func:`repro.util.rng.stable_seed`).
+
+Objective-native methods (the tri-criteria facade; every method above
+supports only the paper's ``"reliability"`` objective unless noted):
+
+* ``"dp-period"`` — minimize the period under a reliability floor and
+  a latency bound (Section 5.2's converse, generalized;
+  :func:`repro.algorithms.minimize_period`); exact, homogeneous only.
+* ``"dp-latency"`` — minimize the latency under a reliability floor
+  and a period bound (:func:`repro.algorithms.minimize_latency`, a
+  final-frontier scan of the Pareto DP); exact, homogeneous only.
+* ``"energy-greedy"`` — minimize the Section 9 dynamic-power energy
+  under both bounds and a floor
+  (:func:`repro.extensions.energy.minimize_energy`); heuristic, any
+  platform.
 
 Extending the registry::
 
@@ -246,6 +263,12 @@ class Method:
         ``"manual"`` (never auto-selected; must be requested
         explicitly) and ``"paired"`` (auto-selected only for paired
         Section 8.2-style scenarios).
+    objectives:
+        The :data:`repro.solve.OBJECTIVES` entries the method can
+        optimize (default: the paper's ``"reliability"`` only).
+        :meth:`check_problem` refuses problems with any other
+        objective, and the planner skips the method for
+        objective-mismatched plans with a recorded reason.
     """
 
     name: str
@@ -256,10 +279,23 @@ class Method:
     seeded: bool = False
     max_tasks: "int | None" = None
     tags: tuple[str, ...] = ()
+    objectives: tuple[str, ...] = ("reliability",)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "solve", _as_canonical(self.solve))
         object.__setattr__(self, "tags", tuple(self.tags))
+        from repro.solve.problem import OBJECTIVES
+
+        objectives = tuple(self.objectives)
+        if not objectives:
+            raise ValueError(f"method {self.name!r} must support at least one objective")
+        unknown = [o for o in objectives if o not in OBJECTIVES]
+        if unknown:
+            raise ValueError(
+                f"method {self.name!r} declares unknown objectives {unknown}; "
+                f"supported: {OBJECTIVES}"
+            )
+        object.__setattr__(self, "objectives", objectives)
 
     def solve_problem(self, problem: Problem, *, seed: "int | None" = None) -> SolveResult:
         """Solve one :class:`~repro.solve.Problem` (the canonical path).
@@ -283,6 +319,13 @@ class Method:
 
     def check_problem(self, problem: Problem) -> None:
         """Raise a descriptive error if *problem* is out of scope."""
+        if problem.objective not in self.objectives:
+            raise ValueError(
+                f"method {self.name!r} does not support objective "
+                f"{problem.objective!r} (it supports: "
+                f"{', '.join(self.objectives)}); see repro.solve.OBJECTIVES "
+                f"for objective-native methods"
+            )
         self.check_platform(problem.platform)
         if self.max_tasks is not None and problem.n_tasks > self.max_tasks:
             raise ValueError(
@@ -355,6 +398,7 @@ def register_method(
     seeded: bool = False,
     max_tasks: "int | None" = None,
     tags: "tuple[str, ...] | list[str]" = (),
+    objectives: "tuple[str, ...] | list[str]" = ("reliability",),
     replace: bool = False,
 ) -> Callable[[Callable], Method]:
     """Decorator registering a solve callable as a named :class:`Method`.
@@ -385,6 +429,7 @@ def register_method(
             seeded=seeded,
             max_tasks=max_tasks,
             tags=tuple(tags),
+            objectives=tuple(objectives),
         )
         METHODS[name] = method
         return method
@@ -482,11 +527,66 @@ register_method("heur-p-paper", tags=("paired",))(
 # No max_tasks cap: the real constraint is brute_force_best's own
 # search-space budget, which depends on p and K as well as the chain
 # length — a plain task count would reject instances the budget admits.
-@register_method("brute-force", exact=True, cost_hint=100.0, tags=("manual",))
+# Objective-aware: the oracle the converse objectives cross-check against.
+@register_method(
+    "brute-force", exact=True, cost_hint=100.0, tags=("manual",),
+    objectives=("reliability", "period", "latency", "energy"),
+)
 def _brute_force(problem):
     return brute_force_best(
         problem.chain, problem.platform,
         max_period=problem.max_period, max_latency=problem.max_latency,
+        objective=problem.objective,
+        min_log_reliability=problem.min_log_reliability,
+    )
+
+
+# --------------------------------------------------------------------------
+# Objective-native methods (the tri-criteria facade)
+# --------------------------------------------------------------------------
+
+
+# Binary search re-running an exact reliability DP per probe: O(log n^2)
+# probes of Algorithm 2 (or the Pareto DP when a latency bound is set).
+@register_method(
+    "dp-period", exact=True, homogeneous_only=True, cost_hint=8.0,
+    objectives=("period",),
+)
+def _dp_period(problem):
+    from repro.algorithms.dp_period import minimize_period
+
+    return minimize_period(
+        problem.chain, problem.platform,
+        min_log_reliability=problem.min_log_reliability,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
+
+
+# One Pareto-DP run plus a final-frontier scan — same worst case as
+# pareto-dp, slightly cheaper in practice (no per-point bound sweep).
+@register_method(
+    "dp-latency", exact=True, homogeneous_only=True, cost_hint=5.0,
+    objectives=("latency",),
+)
+def _dp_latency(problem):
+    from repro.algorithms.pareto_dp import minimize_latency
+
+    return minimize_latency(
+        problem.chain, problem.platform,
+        min_log_reliability=problem.min_log_reliability,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
+
+
+# Section 7 heuristic seeds + replica thinning; any platform.
+@register_method("energy-greedy", cost_hint=2.0, objectives=("energy",))
+def _energy_greedy(problem):
+    from repro.extensions.energy import minimize_energy
+
+    return minimize_energy(
+        problem.chain, problem.platform,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+        min_log_reliability=problem.min_log_reliability,
     )
 
 

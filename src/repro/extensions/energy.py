@@ -16,6 +16,14 @@ reliability/energy trade-off.
 :func:`energy_aware_alloc_het` extends the Section 7.2 allocation with
 an energy budget: replicas keep being added by best reliability ratio,
 but only while the mapping's energy stays within the budget.
+
+:func:`minimize_energy` turns the model into the facade's fourth
+objective (``Problem(objective="energy")``): minimize energy subject to
+the period/latency bounds and a reliability floor.  Candidates come
+from the Section 7 heuristics (which maximize reliability within the
+bounds), then a *replica-thinning* pass strips replicas greedily —
+every replica strictly adds energy and removing one can only improve
+the worst-case period/latency — while the floor still holds.
 """
 
 from __future__ import annotations
@@ -26,13 +34,13 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.core.chain import TaskChain
-from repro.core.evaluation import comm_log_reliability
+from repro.core.evaluation import comm_log_reliability, evaluate_mapping
 from repro.core.interval import Interval, validate_partition
 from repro.core.mapping import Mapping
 from repro.core.platform import Platform
 from repro.util import logrel
 
-__all__ = ["mapping_energy", "energy_aware_alloc_het"]
+__all__ = ["mapping_energy", "energy_aware_alloc_het", "minimize_energy"]
 
 
 def mapping_energy(
@@ -155,4 +163,140 @@ def energy_aware_alloc_het(
 
     return Mapping(
         chain, platform, [(iv, tuple(sorted(r))) for iv, r in zip(partition, replicas)]
+    )
+
+
+def _thin_replicas(
+    mapping: Mapping,
+    min_log_reliability: float,
+    alpha: float,
+    link_power: float,
+) -> Mapping:
+    """Greedily strip replicas while the reliability floor still holds.
+
+    Every replica strictly adds energy (its compute term, plus a link
+    term for non-final intervals), and removing one can only *improve*
+    the worst-case period and latency (the slowest replica of an
+    interval is removed or untouched) — so thinning moves monotonically
+    toward lower energy through bound-preserving mappings.  Each round
+    removes the replica with the largest energy saving among those
+    whose removal keeps the floor; stops when none qualifies.
+    """
+    assignment = [(iv, list(procs)) for iv, procs in mapping]
+
+    def build(drop: "tuple[int, int] | None" = None) -> Mapping:
+        return Mapping(
+            mapping.chain,
+            mapping.platform,
+            [
+                (
+                    iv,
+                    tuple(
+                        u
+                        for ri, u in enumerate(r)
+                        if drop is None or (jj, ri) != drop
+                    ),
+                )
+                for jj, (iv, r) in enumerate(assignment)
+            ],
+        )
+
+    while True:
+        current_energy = mapping_energy(build(), alpha, link_power)
+        best = None  # (saving, interval index, replica index)
+        for j, (_iv, procs) in enumerate(assignment):
+            if len(procs) <= 1:
+                continue
+            for ri in range(len(procs)):
+                candidate = build(drop=(j, ri))
+                if evaluate_mapping(candidate).log_reliability < min_log_reliability:
+                    continue
+                saving = current_energy - mapping_energy(candidate, alpha, link_power)
+                if best is None or saving > best[0]:
+                    best = (saving, j, ri)
+        if best is None:
+            break
+        _saving, j, ri = best
+        assignment[j][1].pop(ri)
+    return build()
+
+
+def minimize_energy(
+    chain: TaskChain,
+    platform: Platform,
+    max_period: float = math.inf,
+    max_latency: float = math.inf,
+    min_log_reliability: float = -math.inf,
+    alpha: float = 3.0,
+    link_power: float = 1.0,
+) -> "SolveResult":
+    """Greedy energy minimization under bounds and a reliability floor.
+
+    Candidate mappings come from the two Section 7 heuristics
+    (``heur-l`` / ``heur-p`` with feasible-best selection); each
+    candidate that meets the bounds and the floor is replica-thinned
+    (:func:`_thin_replicas`) and the cheapest survivor wins, ties
+    broken toward higher reliability.  A heuristic, like the Section 7
+    algorithms it builds on: it may miss a feasible mapping on hard
+    instances, but never returns one that violates a bound or the
+    floor.  Works on any platform (homogeneous or not).
+
+    Returns
+    -------
+    A :class:`~repro.algorithms.result.SolveResult` whose ``details``
+    carry ``energy`` (the winning mapping's energy), ``alpha``, and
+    ``link_power``.
+    """
+    from repro.algorithms.heuristics import heuristic_best
+    from repro.algorithms.result import SolveResult
+
+    if alpha < 1:
+        raise ValueError(f"alpha must be >= 1, got {alpha!r}")
+    if max_period <= 0 or max_latency <= 0:
+        raise ValueError("bounds must be > 0")
+
+    best: "tuple[float, float, Mapping] | None" = None  # (energy, -logrel, mapping)
+    explored = 0
+    for which in ("heur-l", "heur-p"):
+        seed = heuristic_best(
+            chain, platform,
+            max_period=max_period, max_latency=max_latency,
+            which=which, selection="feasible-best",
+        )
+        if not seed.feasible:
+            continue
+        assert seed.mapping is not None
+        if seed.log_reliability < min_log_reliability:
+            # The bounds-respecting reliability maximum misses the
+            # floor; no thinning of this candidate can recover it.
+            continue
+        thinned = _thin_replicas(
+            seed.mapping, min_log_reliability, alpha, link_power
+        )
+        explored += 1
+        ev = evaluate_mapping(thinned)
+        energy = mapping_energy(thinned, alpha, link_power)
+        key = (energy, -ev.log_reliability)
+        if best is None or key < (best[0], best[1]):
+            best = (energy, -ev.log_reliability, thinned)
+
+    if best is None:
+        return SolveResult.infeasible(
+            "energy-greedy",
+            min_log_reliability=min_log_reliability,
+            max_period=max_period,
+            max_latency=max_latency,
+        )
+    energy, _neg, mapping = best
+    return SolveResult(
+        feasible=True,
+        mapping=mapping,
+        evaluation=evaluate_mapping(mapping),
+        method="energy-greedy",
+        details={
+            "energy": energy,
+            "alpha": alpha,
+            "link_power": link_power,
+            "candidates": explored,
+        },
     )

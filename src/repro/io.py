@@ -129,6 +129,8 @@ def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping | Any"
             max_period=float(payload["max_period"]),
             max_latency=float(payload["max_latency"]),
             objective=payload.get("objective", "reliability"),
+            # Pre-1.2 payloads carry no floor (and could not express one).
+            min_reliability=float(payload.get("min_reliability", 0.0)),
         )
     raise ValueError(f"unknown object type {kind!r}")
 

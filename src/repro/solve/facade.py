@@ -28,10 +28,43 @@ __all__ = ["solve", "auto_method_name"]
 
 
 def auto_method_name(problem: Problem) -> str:
-    """The registry name ``method="auto"`` resolves to for *problem*:
-    the fast exact solver on homogeneous platforms (Section 5 scope),
-    the combined Section 7 heuristic otherwise."""
-    return "pareto-dp" if problem.homogeneous else "heuristic"
+    """The registry name ``method="auto"`` resolves to for *problem*.
+
+    For the paper's ``"reliability"`` objective: the fast exact solver
+    on homogeneous platforms (Section 5 scope), the combined Section 7
+    heuristic otherwise.  For the converse objectives the registry is
+    consulted: among the non-``manual`` methods declaring the
+    objective and admitting the platform, the cheapest by ``cost_hint``
+    wins (ties by name) — so a newly registered objective-native method
+    is auto-discoverable without touching this function.
+
+    Raises
+    ------
+    UnknownMethodError
+        When no registered method supports the problem's objective on
+        its platform kind (e.g. period minimization on a heterogeneous
+        platform, which Section 6 proves NP-complete even to bound).
+    """
+    if problem.objective == "reliability":
+        return "pareto-dp" if problem.homogeneous else "heuristic"
+    from repro.experiments.methods import METHODS, UnknownMethodError
+
+    candidates = [
+        m
+        for m in METHODS.values()
+        if problem.objective in m.objectives
+        and (problem.homogeneous or not m.homogeneous_only)
+        and "manual" not in m.tags
+    ]
+    if not candidates:
+        kind = "homogeneous" if problem.homogeneous else "heterogeneous"
+        raise UnknownMethodError(
+            f"no registered method supports objective {problem.objective!r} "
+            f"on {kind} platforms; register one with "
+            f"register_method(..., objectives=({problem.objective!r},)) or "
+            f"request 'brute-force' explicitly for tiny instances"
+        )
+    return min(candidates, key=lambda m: (m.cost_hint, m.name)).name
 
 
 def solve(problem: Problem, method="auto", *, seed: "int | None" = None) -> SolveResult:
@@ -56,7 +89,8 @@ def solve(problem: Problem, method="auto", *, seed: "int | None" = None) -> Solv
         :func:`~repro.experiments.methods.get_method`).
     ValueError
         When the problem is out of the method's declared scope (e.g. a
-        Section 5 exact method on a heterogeneous platform).
+        Section 5 exact method on a heterogeneous platform, or an
+        objective the method does not declare in ``Method.objectives``).
     """
     from repro.experiments.methods import Method, get_method
 

@@ -120,6 +120,7 @@ def derive_bounds_grid(
     method: str = "heuristic",
     seed: int = 0,
     n_instances: "int | None" = None,
+    cache=None,
 ) -> BoundsGrid:
     """Derive a (P, L) bounds grid from unbounded solves over an ensemble.
 
@@ -143,6 +144,13 @@ def derive_bounds_grid(
         combined Section 7 heuristic — fast and platform-agnostic).
     seed, n_instances:
         Scenario generation knobs; ignored for explicit instance lists.
+    cache:
+        A :class:`~repro.experiments.cache.ResultCache`, a cache
+        directory path, or ``None`` to read ``$REPRO_CACHE_DIR`` (unset
+        = no caching).  The unbounded probe solves are ordinary cache
+        citizens (keyed by :meth:`~repro.experiments.cache.ResultCache
+        .probe_key`), so re-deriving a grid over the same ensemble —
+        every warm ``--grid auto`` run — costs zero solves.
     """
     if quantiles is None:
         if n_points < 2:
@@ -169,15 +177,65 @@ def derive_bounds_grid(
     if not instances:
         raise ValueError("need at least one instance to derive a grid from")
 
+    # Probe solves go through the shared result cache when one is
+    # configured (ROADMAP "grid caching"): the per-instance scalars are
+    # stored under probe keys, so a warm --grid auto run re-derives the
+    # grid without a single solve.
+    from repro.experiments.cache import resolve_cache
+    from repro.experiments.methods import METHODS
+
+    store = resolve_cache(cache)
+    registered = METHODS.get(method)
+    fingerprint = registered.fingerprint() if registered is not None else None
+
+    def probe(chain, platform) -> "tuple[bool, float, float]":
+        problem = Problem(chain, platform)
+        key = None
+        if store is not None and registered is not None:
+            key = store.probe_key(method, problem, fingerprint)
+            record = store.get_record(key)
+            if record is not None:
+                try:
+                    return (
+                        bool(record["feasible"]),
+                        float(record["period"]),
+                        float(record["latency"]),
+                    )
+                except (KeyError, TypeError, ValueError):
+                    # Malformed probe record (same recovery contract as
+                    # ResultCache.get): recompute and overwrite below.
+                    pass
+        result = solve(problem, method=method)
+        if result.feasible:
+            ev = result.evaluation
+            feasible, period, latency = (
+                True,
+                float(ev.worst_case_period),
+                float(ev.worst_case_latency),
+            )
+        else:  # pragma: no cover - unbounded heuristics map
+            feasible, period, latency = False, 0.0, 0.0
+        if key is not None:
+            store.put_record(
+                key,
+                {
+                    "kind": "grid-probe",
+                    "method": method,
+                    "feasible": feasible,
+                    "period": period,
+                    "latency": latency,
+                },
+            )
+        return feasible, period, latency
+
     hi_periods, hi_latencies = [], []
     lo_periods, lo_latencies = [], []
     for chain, platform in instances:
-        result = solve(Problem(chain, platform), method=method)
-        if not result.feasible:  # pragma: no cover - unbounded heuristics map
+        feasible, period, latency = probe(chain, platform)
+        if not feasible:  # pragma: no cover - unbounded heuristics map
             continue
-        ev = result.evaluation
-        hi_periods.append(float(ev.worst_case_period))
-        hi_latencies.append(float(ev.worst_case_latency))
+        hi_periods.append(period)
+        hi_latencies.append(latency)
         # Analytic lower bounds: some interval holds the heaviest task
         # (period), and every task executes somewhere along the chain
         # (latency) — no mapping beats the fastest processor on either.

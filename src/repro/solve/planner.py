@@ -19,6 +19,10 @@ Selection rules
 Hard capability gates (always applied, even to an explicit method
 list):
 
+* methods that do not declare the plan's *objective* (see
+  :data:`repro.solve.OBJECTIVES` and ``Method.objectives``) are
+  dropped — a reliability heuristic cannot answer a period-minimizing
+  plan;
 * ``homogeneous_only`` methods are dropped for scenarios that generate
   heterogeneous platforms;
 * methods with an intrinsic ``max_tasks`` ceiling (brute force) are
@@ -70,6 +74,9 @@ class Plan:
     spec_hash:
         The spec's content hash (:func:`repro.scenarios.scenario_hash`)
         — ties the plan to the exact workload it was made for.
+    objective:
+        The :data:`repro.solve.OBJECTIVES` entry the plan was built
+        for; every selected method declares it.
     selected:
         Method names in execution order (expensive-first by
         ``cost_hint``, ties broken by name — the same order the
@@ -82,6 +89,7 @@ class Plan:
     spec_hash: str
     selected: tuple[str, ...]
     skipped: tuple[MethodSkip, ...]
+    objective: str = "reliability"
 
     def methods(self) -> "list[Method]":
         """Resolve the selected names against the live registry."""
@@ -94,6 +102,7 @@ class Plan:
         return {
             "scenario": self.scenario,
             "spec_hash": self.spec_hash,
+            "objective": self.objective,
             "selected": list(self.selected),
             "skipped": [
                 {"method": s.method, "reason": s.reason} for s in self.skipped
@@ -104,7 +113,10 @@ class Plan:
         """Human-readable multi-line rendering (CLI output)."""
         from repro.experiments.methods import METHODS
 
-        lines = [f"plan for scenario {self.scenario!r} (spec {self.spec_hash[:12]}…):"]
+        lines = [
+            f"plan for scenario {self.scenario!r} "
+            f"(objective {self.objective!r}, spec {self.spec_hash[:12]}…):"
+        ]
         for rank, name in enumerate(self.selected, 1):
             method = METHODS.get(name)
             meta = (
@@ -149,6 +161,7 @@ class Planner:
         self,
         scenario,
         methods: "Sequence[str | Method] | None" = None,
+        objective: str = "reliability",
     ) -> Plan:
         """Build a :class:`Plan` for *scenario*.
 
@@ -164,6 +177,12 @@ class Planner:
             caller asked for these methods, so redundancy and
             stochasticity are their call.  ``None`` (default)
             auto-discovers candidates from the whole registry.
+        objective:
+            The :data:`repro.solve.OBJECTIVES` entry the plan's solves
+            will carry (default: the paper's ``"reliability"``).
+            Methods that do not declare it are skipped with an
+            "objective unsupported" reason — a hard gate, applied even
+            to explicit method lists.
 
         Raises
         ------
@@ -172,9 +191,17 @@ class Planner:
             :func:`~repro.experiments.methods.get_method`).
         UnknownScenarioError
             For unknown scenario names.
+        ValueError
+            For unknown objectives.
         """
         from repro.experiments.methods import METHODS, Method, get_method
         from repro.scenarios import resolve_scenario, scenario_hash, spec_is_homogeneous
+        from repro.solve.problem import OBJECTIVES
+
+        if objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown objective {objective!r}; supported: {OBJECTIVES}"
+            )
 
         spec, entry = resolve_scenario(scenario)
         homogeneous = (
@@ -197,6 +224,7 @@ class Planner:
             reason = self._skip_reason(
                 method, homogeneous=homogeneous, paired=spec.paired,
                 n_tasks=n_tasks, n_procs=n_procs, explicit=explicit,
+                objective=objective,
             )
             if reason is None:
                 selected.append(method)
@@ -227,6 +255,7 @@ class Planner:
             spec_hash=scenario_hash(spec),
             selected=tuple(m.name for m in selected),
             skipped=tuple(skipped),
+            objective=objective,
         )
 
     def _skip_reason(
@@ -238,8 +267,14 @@ class Planner:
         n_tasks: int,
         n_procs: int,
         explicit: bool,
+        objective: str = "reliability",
     ) -> "str | None":
         """The reason to drop *method*, or None to keep it."""
+        if objective not in method.objectives:
+            return (
+                f"objective {objective!r} unsupported (method optimizes: "
+                f"{', '.join(method.objectives)})"
+            )
         if method.homogeneous_only and not homogeneous:
             return (
                 "requires homogeneous platforms (Section 5 algorithm); "
@@ -275,9 +310,12 @@ class Planner:
 def plan_methods(
     scenario,
     methods: "Iterable[str | Method] | None" = None,
+    objective: str = "reliability",
     **config,
 ) -> Plan:
     """One-shot convenience: ``Planner(**config).plan(scenario, methods)``."""
     return Planner(**config).plan(
-        scenario, methods=None if methods is None else list(methods)
+        scenario,
+        methods=None if methods is None else list(methods),
+        objective=objective,
     )

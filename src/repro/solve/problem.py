@@ -37,11 +37,18 @@ from repro.core.platform import Platform
 
 __all__ = ["OBJECTIVES", "Problem", "encode_bound", "problem_hash"]
 
-#: Supported optimization objectives.  The paper maximizes reliability
-#: under period/latency bounds; the field exists so tri-criteria
-#: variants (period- or latency-minimizing under a reliability floor)
-#: can join without another signature change.
-OBJECTIVES = ("reliability",)
+#: Supported optimization objectives.  ``"reliability"`` is the paper's
+#: Section 3 problem (maximize reliability under period/latency bounds).
+#: The converse criteria optimize one performance bound under a
+#: *reliability floor* (:attr:`Problem.min_reliability`):
+#:
+#: * ``"period"`` — minimize the worst-case period subject to the floor
+#:   and the latency bound (Section 5.2's binary-search converse);
+#: * ``"latency"`` — minimize the worst-case latency subject to the
+#:   floor and the period bound (Section 5.3 scope, via the Pareto DP);
+#: * ``"energy"`` — minimize the Section 9 dynamic-power energy subject
+#:   to the floor and both bounds (:mod:`repro.extensions.energy`).
+OBJECTIVES = ("reliability", "period", "latency", "energy")
 
 
 def encode_bound(value: float) -> "float | str":
@@ -68,8 +75,16 @@ class Problem:
         The real-time bounds P and L; ``inf`` (the default) leaves the
         corresponding criterion unbounded.
     objective:
-        What to optimize within the bounds — currently always
-        ``"reliability"`` (see :data:`OBJECTIVES`).
+        What to optimize within the bounds (see :data:`OBJECTIVES`).
+        ``"reliability"`` maximizes reliability; ``"period"``,
+        ``"latency"``, and ``"energy"`` minimize their criterion
+        subject to the remaining bounds and the reliability floor.
+    min_reliability:
+        Reliability floor in ``[0, 1)`` for the converse objectives:
+        a mapping is feasible only if its reliability is at least this
+        value.  ``0.0`` (the default) means "no floor".  Meaningless —
+        and therefore rejected — for ``objective="reliability"``, where
+        reliability is the criterion being maximized, not a constraint.
     """
 
     chain: TaskChain
@@ -77,6 +92,7 @@ class Problem:
     max_period: float = math.inf
     max_latency: float = math.inf
     objective: str = "reliability"
+    min_reliability: float = 0.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.chain, TaskChain):
@@ -94,6 +110,21 @@ class Problem:
         if self.objective not in OBJECTIVES:
             raise ValueError(
                 f"unknown objective {self.objective!r}; supported: {OBJECTIVES}"
+            )
+        floor = self.min_reliability
+        if isinstance(floor, bool) or not isinstance(floor, (int, float)):
+            raise ValueError(f"min_reliability must be a number, got {floor!r}")
+        floor = float(floor)
+        if math.isnan(floor) or not 0.0 <= floor < 1.0:
+            raise ValueError(
+                f"min_reliability must lie in [0, 1) (0 = no floor), got {floor!r}"
+            )
+        object.__setattr__(self, "min_reliability", floor)
+        if self.objective == "reliability" and floor != 0.0:
+            raise ValueError(
+                "min_reliability is a constraint for the converse objectives "
+                "('period', 'latency', 'energy'); with objective='reliability' "
+                "the criterion itself is maximized — leave the floor at 0.0"
             )
 
     # -- structure -------------------------------------------------------
@@ -115,6 +146,30 @@ class Problem:
     @property
     def p(self) -> int:
         return self.platform.p
+
+    @property
+    def min_log_reliability(self) -> float:
+        """The reliability floor as a log-probability (``-inf`` = none).
+
+        The internal currency of every solver (see
+        :mod:`repro.util.logrel`); ``min_reliability`` stays a plain
+        probability at the API boundary because that is what users
+        state floors in.
+        """
+        from repro.util.logrel import from_reliability
+
+        if self.min_reliability == 0.0:
+            return -math.inf
+        return from_reliability(self.min_reliability)
+
+    def replace(self, **changes: Any) -> "Problem":
+        """A copy with the given fields replaced (validated anew).
+
+        The ergonomic spelling of objective switches::
+
+            solve(problem.replace(objective="period", min_reliability=0.99))
+        """
+        return dataclasses.replace(self, **changes)
 
     def with_bounds(
         self,
@@ -149,6 +204,7 @@ class Problem:
             "max_period": encode_bound(self.max_period),
             "max_latency": encode_bound(self.max_latency),
             "objective": self.objective,
+            "min_reliability": self.min_reliability,
         }
 
     def content_hash(self) -> str:
@@ -177,9 +233,10 @@ class Problem:
             if self.bounded
             else "unbounded"
         )
+        floor = f", r>={self.min_reliability:g}" if self.min_reliability > 0.0 else ""
         return (
             f"Problem({self.chain.n} tasks on {self.platform.p} procs, "
-            f"{bounds}, objective={self.objective!r})"
+            f"{bounds}, objective={self.objective!r}{floor})"
         )
 
 

@@ -1,0 +1,478 @@
+"""The tri-criteria facade: objective semantics on Problem, the
+objective-native methods and their agreement with the objective-aware
+brute force, planner/facade gating, harness/cache round-trips, and the
+cached grid probes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    brute_force_best,
+    minimize_latency,
+    minimize_period,
+)
+from repro.core import Platform, TaskChain
+from repro.experiments import (
+    METHODS,
+    UnknownMethodError,
+    get_method,
+    register_method,
+    run_crosscheck,
+    run_sweep,
+)
+from repro.experiments.cache import ResultCache
+from repro.experiments.figures import run_experiment
+from repro.extensions.energy import mapping_energy, minimize_energy
+from repro.io import dumps, loads
+from repro.solve import (
+    OBJECTIVES,
+    Planner,
+    Problem,
+    auto_method_name,
+    derive_bounds_grid,
+    plan_methods,
+    solve,
+)
+from repro.util.logrel import from_reliability
+
+
+@pytest.fixture
+def chain():
+    return TaskChain([6.0, 6.0, 4.0], [1.0, 2.0, 0.0])
+
+
+@pytest.fixture
+def hom():
+    return Platform.homogeneous_platform(
+        4, failure_rate=1e-3, link_failure_rate=1e-4, max_replication=2
+    )
+
+
+@pytest.fixture
+def het():
+    return Platform(
+        speeds=[2.0, 1.0, 3.0],
+        failure_rates=[1e-4, 2e-4, 5e-5],
+        bandwidth=2.0,
+        link_failure_rate=1e-4,
+        max_replication=2,
+    )
+
+
+class TestProblemObjectives:
+    def test_objectives_tuple(self):
+        assert OBJECTIVES == ("reliability", "period", "latency", "energy")
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_io_roundtrip_every_objective(self, chain, hom, objective):
+        floor = 0.9 if objective != "reliability" else 0.0
+        problem = Problem(
+            chain, hom, max_period=40.0, objective=objective,
+            min_reliability=floor,
+        )
+        back = loads(dumps(problem))
+        assert back == problem
+        assert back.objective == objective
+        assert back.min_reliability == floor
+
+    @pytest.mark.parametrize("objective", OBJECTIVES)
+    def test_content_hash_stable_across_constructions(self, chain, hom, objective):
+        floor = 0.5 if objective != "reliability" else 0.0
+        a = Problem(chain, hom, objective=objective, min_reliability=floor)
+        b = Problem(chain, hom, objective=objective, min_reliability=floor)
+        assert a.content_hash() == b.content_hash()
+        assert loads(dumps(a)).content_hash() == a.content_hash()
+
+    def test_hash_sensitive_to_objective_and_floor(self, chain, hom):
+        base = Problem(chain, hom)
+        hashes = {base.content_hash()}
+        for objective in ("period", "latency", "energy"):
+            hashes.add(base.replace(objective=objective).content_hash())
+        hashes.add(
+            base.replace(objective="period", min_reliability=0.5).content_hash()
+        )
+        assert len(hashes) == 5  # all distinct
+
+    def test_legacy_payload_defaults_to_no_floor(self, chain, hom):
+        from repro.io import from_dict
+
+        payload = Problem(chain, hom).to_dict()
+        del payload["min_reliability"]  # pre-1.2 payloads carry no floor
+        back = from_dict(payload)
+        assert back.min_reliability == 0.0 and back.objective == "reliability"
+
+    def test_floor_rejected_for_reliability_objective(self, chain, hom):
+        with pytest.raises(ValueError, match="min_reliability"):
+            Problem(chain, hom, min_reliability=0.5)
+
+    def test_floor_range_validated(self, chain, hom):
+        for bad in (-0.1, 1.0, 1.5, float("nan")):
+            with pytest.raises(ValueError):
+                Problem(chain, hom, objective="period", min_reliability=bad)
+
+    def test_unknown_objective_rejected(self, chain, hom):
+        with pytest.raises(ValueError, match="unknown objective"):
+            Problem(chain, hom, objective="throughput")
+
+    def test_min_log_reliability(self, chain, hom):
+        assert Problem(chain, hom).min_log_reliability == -math.inf
+        p = Problem(chain, hom, objective="period", min_reliability=0.5)
+        assert p.min_log_reliability == pytest.approx(math.log(0.5))
+
+    def test_replace_and_repr(self, chain, hom):
+        p = Problem(chain, hom).replace(objective="energy", min_reliability=0.9)
+        assert p.objective == "energy"
+        assert "r>=0.9" in repr(p) and "'energy'" in repr(p)
+
+    def test_with_bounds_preserves_objective(self, chain, hom):
+        p = Problem(chain, hom, objective="latency", min_reliability=0.25)
+        q = p.with_bounds(max_period=30.0)
+        assert q.objective == "latency" and q.min_reliability == 0.25
+
+
+class TestFacadeRouting:
+    def test_auto_per_objective(self, chain, hom, het):
+        assert auto_method_name(Problem(chain, hom, objective="period")) == "dp-period"
+        assert auto_method_name(Problem(chain, hom, objective="latency")) == "dp-latency"
+        assert auto_method_name(Problem(chain, hom, objective="energy")) == "energy-greedy"
+        assert auto_method_name(Problem(chain, het, objective="energy")) == "energy-greedy"
+
+    def test_auto_unsupported_combination_raises(self, chain, het):
+        with pytest.raises(UnknownMethodError, match="heterogeneous"):
+            auto_method_name(Problem(chain, het, objective="period"))
+
+    def test_objective_mismatch_is_value_error(self, chain, hom):
+        problem = Problem(chain, hom, objective="period")
+        with pytest.raises(ValueError, match="does not support objective"):
+            solve(problem, method="pareto-dp")
+
+    @pytest.mark.parametrize(
+        "objective,direct",
+        [
+            ("period", lambda c, p, ell: minimize_period(
+                c, p, min_log_reliability=ell, max_latency=40.0)),
+            ("latency", lambda c, p, ell: minimize_latency(
+                c, p, min_log_reliability=ell)),
+            ("energy", lambda c, p, ell: minimize_energy(
+                c, p, max_latency=40.0, min_log_reliability=ell)),
+        ],
+    )
+    def test_facade_matches_direct_calls(self, chain, hom, objective, direct):
+        floor = 0.9
+        kwargs = {"max_latency": 40.0} if objective != "latency" else {}
+        problem = Problem(
+            chain, hom, objective=objective, min_reliability=floor, **kwargs
+        )
+        via_facade = solve(problem)
+        direct_result = direct(chain, hom, from_reliability(floor))
+        assert via_facade.feasible == direct_result.feasible
+        assert via_facade.objective_value(objective) == pytest.approx(
+            direct_result.objective_value(objective)
+        )
+        assert via_facade.mapping == direct_result.mapping
+
+    def test_registry_rejects_unknown_objectives(self):
+        with pytest.raises(ValueError, match="unknown objectives"):
+            register_method("bad-objective-method", objectives=("speedup",))(
+                lambda problem: None
+            )
+        assert "bad-objective-method" not in METHODS
+
+
+class TestConverseAgainstBruteForce:
+    """dp-period / dp-latency are exact: they must match the
+    objective-aware exhaustive oracle on tiny instances."""
+
+    def instances(self):
+        rng = np.random.default_rng(7)
+        for _ in range(4):
+            n = int(rng.integers(2, 5))
+            work = rng.uniform(1.0, 8.0, size=n)
+            output = np.append(rng.uniform(0.5, 3.0, size=n - 1), 0.0)
+            chain = TaskChain(work, output)
+            platform = Platform.homogeneous_platform(
+                int(rng.integers(2, 5)),
+                failure_rate=10.0 ** -rng.uniform(2, 4),
+                link_failure_rate=10.0 ** -rng.uniform(2, 4),
+                max_replication=int(rng.integers(1, 3)),
+            )
+            yield chain, platform, rng
+
+    def test_dp_period_agrees(self):
+        for chain, platform, rng in self.instances():
+            unbounded = solve(Problem(chain, platform))
+            floor_ell = unbounded.log_reliability * float(rng.uniform(1.0, 3.0))
+            L = float(unbounded.evaluation.worst_case_latency * rng.uniform(1.0, 1.5))
+            problem = Problem(
+                chain, platform, max_latency=L,
+                objective="period", min_reliability=math.exp(floor_ell),
+            )
+            dp = solve(problem, method="dp-period")
+            oracle = solve(problem, method="brute-force")
+            assert dp.feasible == oracle.feasible
+            if oracle.feasible:
+                assert dp.objective_value("period") == pytest.approx(
+                    oracle.objective_value("period")
+                )
+
+    def test_dp_latency_agrees(self):
+        for chain, platform, rng in self.instances():
+            unbounded = solve(Problem(chain, platform))
+            floor_ell = unbounded.log_reliability * float(rng.uniform(1.0, 3.0))
+            P = float(unbounded.evaluation.worst_case_period * rng.uniform(1.0, 1.5))
+            problem = Problem(
+                chain, platform, max_period=P,
+                objective="latency", min_reliability=math.exp(floor_ell),
+            )
+            dp = solve(problem, method="dp-latency")
+            oracle = solve(problem, method="brute-force")
+            assert dp.feasible == oracle.feasible
+            if oracle.feasible:
+                assert dp.objective_value("latency") == pytest.approx(
+                    oracle.objective_value("latency")
+                )
+
+    def test_infeasible_floor_reported(self, chain, hom):
+        problem = Problem(
+            chain, hom, objective="period",
+            min_reliability=1.0 - 1e-12,
+        )
+        result = solve(problem, method="dp-period")
+        oracle = solve(problem, method="brute-force")
+        assert not result.feasible and not oracle.feasible
+
+    def test_energy_greedy_never_beats_oracle(self, chain, hom):
+        problem = Problem(
+            chain, hom, max_period=7.0,
+            objective="energy", min_reliability=0.9,
+        )
+        greedy = solve(problem, method="energy-greedy")
+        oracle = solve(problem, method="brute-force")
+        assert greedy.feasible and oracle.feasible
+        assert greedy.objective_value("energy") >= oracle.objective_value("energy") - 1e-9
+        ev = greedy.evaluation
+        assert ev.meets(
+            max_period=7.0, min_log_reliability=problem.min_log_reliability
+        )
+        # Thinning pays off: the greedy's energy is no worse than its
+        # unthinned reliability-maximizing seed.
+        seed = solve(Problem(chain, hom, max_period=7.0), method="heuristic")
+        assert greedy.objective_value("energy") <= mapping_energy(seed.mapping) + 1e-9
+
+    def test_crosscheck_objectives_clean(self):
+        report = run_crosscheck(n_instances=4, simulate=False, seed=11)
+        assert report.objective_disagreements == 0
+        assert report.clean
+
+    def test_brute_force_rejects_unknown_objective(self, chain, hom):
+        with pytest.raises(ValueError, match="unknown objective"):
+            brute_force_best(chain, hom, objective="throughput")
+
+
+class TestPlannerObjectiveGating:
+    def test_objective_skip_reasons_recorded(self):
+        plan = plan_methods("section8-hom", objective="period")
+        assert plan.objective == "period"
+        assert plan.selected == ("dp-period",)
+        reasons = {s.method: s.reason for s in plan.skipped}
+        assert "objective 'period' unsupported" in reasons["pareto-dp"]
+        assert "objective 'period' unsupported" in reasons["heur-l"]
+
+    def test_objective_gate_is_hard_even_for_explicit_lists(self):
+        plan = Planner().plan(
+            "section8-hom", methods=["ilp", "dp-latency"], objective="latency"
+        )
+        assert plan.selected == ("dp-latency",)
+        assert any(
+            s.method == "ilp" and "objective" in s.reason for s in plan.skipped
+        )
+
+    def test_energy_selected_on_heterogeneous_scenarios(self):
+        plan = plan_methods("high-heterogeneity", objective="energy")
+        assert plan.selected == ("energy-greedy",)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            plan_methods("section8-hom", objective="speedup")
+
+    def test_describe_carries_objective(self):
+        record = plan_methods("section8-hom", objective="energy").describe()
+        assert record["objective"] == "energy"
+
+
+class TestHarnessObjectives:
+    def test_run_sweep_objective_param(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        kwargs = dict(
+            instances="section8-hom",
+            methods=[get_method("dp-period")],
+            bounds=[(math.inf, 850.0), (math.inf, 950.0)],
+            n_instances=3,
+            objective="period",
+            min_reliability=0.3,
+            cache=cache,
+        )
+        sweep = run_sweep(**kwargs)
+        counts = sweep.counts("dp-period")
+        assert counts.shape == (2,)
+        assert counts[0] <= counts[1]  # looser latency bound solves more
+        # Cache round-trip: identical sweep is served entirely from cache.
+        again = run_sweep(**kwargs)
+        assert cache.misses == cache.puts  # every cold unit stored once
+        assert cache.hits == cache.puts  # ...and replayed once
+        np.testing.assert_array_equal(sweep.solved, again.solved)
+        np.testing.assert_array_equal(sweep.failure, again.failure)
+
+    def test_objective_mismatched_method_raises_up_front(self):
+        with pytest.raises(ValueError, match="does not support objective"):
+            run_sweep(
+                "section8-hom",
+                [get_method("heur-l")],
+                [(250.0, 750.0)],
+                n_instances=2,
+                objective="period",
+            )
+
+    def test_run_experiment_is_planner_driven(self):
+        exp = run_experiment("hom-period", n_instances=2, exact_method="pareto-dp")
+        assert exp.plan is not None
+        assert list(exp.plan.selected) == ["pareto-dp", "heur-l", "heur-p"]
+        assert exp.plan.spec_hash == exp.scenario_key
+        assert exp.sweeps["hom"].method_names == list(exp.plan.selected)
+
+    def test_run_experiment_het_plan(self):
+        exp = run_experiment("het-period", n_instances=2)
+        assert list(exp.plan.selected) == ["heur-l-paper", "heur-p-paper"]
+
+
+class TestGridProbeCache:
+    def test_warm_grid_derivation_is_solve_free(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        cold = derive_bounds_grid(
+            "section8-hom", n_points=4, n_instances=4, cache=cache
+        )
+        assert cache.puts == 4  # one probe record per instance
+        assert cache.hits == 0
+        warm = derive_bounds_grid(
+            "section8-hom", n_points=4, n_instances=4, cache=cache
+        )
+        assert cache.hits == 4
+        assert cache.puts == 4  # nothing recomputed
+        assert warm == cold
+
+    def test_probe_records_keyed_by_method_identity(self, tmp_path, chain, hom):
+        cache = ResultCache(tmp_path / "cache")
+        problem = Problem(chain, hom)
+        heur = get_method("heuristic")
+        key_a = cache.probe_key("heuristic", problem, heur.fingerprint())
+        key_b = cache.probe_key("heur-l", problem, get_method("heur-l").fingerprint())
+        assert key_a != key_b
+        unit_key = cache.unit_key("heuristic", [problem], fingerprint=heur.fingerprint())
+        assert key_a != unit_key  # probe records never collide with units
+
+    def test_corrupted_probe_record_recovers(self, tmp_path, chain, hom):
+        cache = ResultCache(tmp_path / "cache")
+        key = cache.probe_key("heuristic", Problem(chain, hom))
+        cache.put_record(key, {"feasible": True, "period": 1.0, "latency": 2.0})
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get_record(key) is None
+        assert not path.exists()  # dropped for recomputation
+
+    def test_field_stripped_probe_record_recovers(self, tmp_path):
+        """A well-formed record missing the probe fields must be treated
+        as a miss by derive_bounds_grid (recomputed and overwritten),
+        not crash the derivation."""
+        cache = ResultCache(tmp_path / "cache")
+        cold = derive_bounds_grid(
+            "section8-hom", n_points=4, n_instances=2, cache=cache
+        )
+        for entry in (tmp_path / "cache").rglob("*.json"):
+            payload = entry.read_text()
+            if "grid-probe" in payload:
+                entry.write_text(payload.replace('"feasible"', '"stripped"'))
+        again = derive_bounds_grid(
+            "section8-hom", n_points=4, n_instances=2, cache=cache
+        )
+        assert again == cold
+
+
+class TestObjectiveValue:
+    def test_values_match_evaluation(self, chain, hom):
+        result = solve(Problem(chain, hom, max_period=8.0))
+        ev = result.evaluation
+        assert result.objective_value("reliability") == pytest.approx(ev.reliability)
+        assert result.objective_value("period") == ev.worst_case_period
+        assert result.objective_value("latency") == ev.worst_case_latency
+        assert result.objective_value("energy") == pytest.approx(
+            mapping_energy(result.mapping)
+        )
+        with pytest.raises(ValueError, match="unknown objective"):
+            result.objective_value("speedup")
+
+    def test_infeasible_values(self, chain, hom):
+        result = solve(
+            Problem(chain, hom, max_latency=1.0, objective="latency"),
+            method="dp-latency",
+        )
+        assert not result.feasible
+        assert result.objective_value("latency") == math.inf
+        assert result.objective_value("reliability") == 0.0
+
+
+class TestCliObjectives:
+    def test_solve_objective_flag(self, tmp_path, capsys, chain, hom):
+        from repro.cli import main
+
+        chain_file = tmp_path / "chain.json"
+        platform_file = tmp_path / "platform.json"
+        chain_file.write_text(dumps(chain))
+        platform_file.write_text(dumps(hom))
+        code = main([
+            "solve", str(chain_file), str(platform_file),
+            "--objective", "period", "--min-reliability", "0.9",
+            "--max-latency", "40",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "objective (period)" in out
+        assert "dp-period" in out
+
+    def test_solve_rejects_bad_floor(self, tmp_path, capsys, chain, hom):
+        from repro.cli import main
+
+        chain_file = tmp_path / "chain.json"
+        platform_file = tmp_path / "platform.json"
+        chain_file.write_text(dumps(chain))
+        platform_file.write_text(dumps(hom))
+        with pytest.raises(SystemExit, match="min_reliability"):
+            main([
+                "solve", str(chain_file), str(platform_file),
+                "--objective", "energy", "--min-reliability", "1.5",
+            ])
+
+    def test_plan_show_objective(self, capsys):
+        from repro.cli import main
+
+        assert main(["plan", "show", "section8-hom", "--objective", "latency"]) == 0
+        out = capsys.readouterr().out
+        assert "dp-latency" in out and "objective 'latency' unsupported" in out
+
+    def test_scenario_run_objective_manifest(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        manifest = tmp_path / "manifest.json"
+        code = main([
+            "scenario", "run", "section8-hom", "--n-instances", "2",
+            "--objective", "period", "--min-reliability", "0.3",
+            "--max-latency", "900", "--manifest", str(manifest),
+        ])
+        assert code == 0
+        payload = json.loads(manifest.read_text())
+        assert payload["objective"] == "period"
+        assert payload["plan"]["selected"] == ["dp-period"]
+        assert payload["plan"]["objective"] == "period"

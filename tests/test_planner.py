@@ -106,7 +106,10 @@ class TestOrderingAndRecords:
         record = plan_methods("section8-het").describe()
         assert json.loads(json.dumps(record)) == record
         assert record["scenario"] == "section8-het"
-        assert set(record) == {"scenario", "spec_hash", "selected", "skipped"}
+        assert set(record) == {
+            "scenario", "spec_hash", "objective", "selected", "skipped"
+        }
+        assert record["objective"] == "reliability"
         assert all(set(s) == {"method", "reason"} for s in record["skipped"])
 
     def test_summary_mentions_every_method(self):
