@@ -1,15 +1,20 @@
-"""Throughput — batched vs. per-instance scenario ensemble generation.
+"""Throughput — columnar ensemble vs. materialized scenario generation.
 
 The scenario layer's two RNG modes trade contracts for speed: the
 per-instance mode spawns one child stream per instance (legacy
 bit-compatibility, prefix stability), the batched mode draws whole
-``(n_instances, n_tasks)`` matrices in single numpy calls.  This bench
-generates a 1000-instance ensemble both ways and reports instances per
-second, plus the batched mode's speedup.
+``(n_instances, n_tasks)`` matrices in single numpy calls.  Since the
+columnar refactor both modes *store* those draws directly as an
+:class:`repro.core.ensemble.Ensemble` — per-instance object
+construction only happens on demand (``materialize()``), which is
+where the bulk of the old generation time went.  This bench generates
+a 1000-instance ensemble every way and reports instances per second,
+the batched-vs-per-instance speedup, and the columnar-vs-materialized
+speedup (the PR's ≥3x acceptance gate, in practice well above 10x).
 
-The two modes draw *different* ensembles by design (different stream
-layouts), so the bench asserts distributional invariants — sizes,
-ranges, reproducibility — rather than equality.
+The two RNG modes draw *different* ensembles by design (different
+stream layouts), so the bench asserts distributional invariants —
+sizes, ranges, reproducibility — rather than equality.
 
 Dual entry points: a pytest-benchmark test and a ``--json`` script mode
 for the benchmark-regression gate (see ``benchmarks/jsonbench.py``)::
@@ -19,7 +24,7 @@ for the benchmark-regression gate (see ``benchmarks/jsonbench.py``)::
 
 import time
 
-from repro.scenarios import generate_instances, get_scenario
+from repro.scenarios import generate_ensemble, get_scenario, materialize_instances
 
 try:
     from benchmarks.conftest import emit
@@ -29,53 +34,79 @@ except ImportError:  # script mode: no pytest plumbing to bypass
 
 N_INSTANCES = 1000
 
+#: The committed pre-columnar batched cost (us/instance) the ≥3x
+#: ensemble-speedup acceptance gate compares against.
+PRE_COLUMNAR_BATCHED_US = 66.0
+
 #: Regression-gate metric names (see run_generation_bench).
 BENCH_NAME = "bench_scenario_generation"
 
 
-def _time(spec, seed=0):
+def _time(fn):
     t0 = time.perf_counter()
-    ensemble = generate_instances(spec, seed=seed)
-    return ensemble, time.perf_counter() - t0
+    out = fn()
+    return out, time.perf_counter() - t0
 
 
 def run_generation_bench() -> dict:
-    """Generate both ways and return the regression-gate metrics.
+    """Generate every way and return the regression-gate metrics.
 
-    ``batched_speedup`` is the machine-portable headline (same
-    workload, same process, two code paths); ``batched_us_per_instance``
-    is absolute and therefore gated only loosely.
+    ``batched_speedup`` and ``ensemble_vs_materialized_speedup`` are
+    the machine-portable headlines (same workload, same process, two
+    code paths); the ``*_us_per_instance`` metrics are absolute and
+    therefore gated loosely.
     """
     base = get_scenario("high-heterogeneity").spec.with_(n_instances=N_INSTANCES)
     per_instance = base.with_(rng_mode="per-instance")
     batched = base.with_(rng_mode="batched")
 
-    ensemble_pi, seconds_pi = _time(per_instance)
-    ensemble_b, seconds_b = _time(batched)
+    materialized_pi, seconds_pi = _time(lambda: materialize_instances(per_instance))
+    materialized_b, seconds_b = _time(lambda: materialize_instances(batched))
+    ensemble_b, seconds_ens = _time(lambda: generate_ensemble(batched))
 
     emit()
     emit(f"scenario generation, {N_INSTANCES} instances "
          f"({base.name}: {base.n_tasks} tasks x {base.p} procs)")
-    emit("mode          seconds   instances/s")
-    for mode, secs in (("per-instance", seconds_pi), ("batched", seconds_b)):
-        emit(f"{mode:12s}  {secs:8.4f}  {N_INSTANCES / secs:10.0f}")
+    emit("mode                       seconds   instances/s")
+    for mode, secs in (
+        ("per-instance materialized", seconds_pi),
+        ("batched materialized", seconds_b),
+        ("batched ensemble (columnar)", seconds_ens),
+    ):
+        emit(f"{mode:27s}  {secs:8.4f}  {N_INSTANCES / secs:10.0f}")
     emit(f"batched speedup: {seconds_pi / seconds_b:.1f}x")
+    emit(f"columnar vs materialized: {seconds_b / seconds_ens:.1f}x")
 
-    for ensemble in (ensemble_pi, ensemble_b):
+    for ensemble in (materialized_pi, materialized_b):
         assert len(ensemble) == N_INSTANCES
         chain, platform = ensemble[0]
         assert chain.n == 15 and platform.p == 10
         assert not platform.homogeneous  # loguniform rates, lognormal speeds
+    assert len(ensemble_b) == N_INSTANCES
+    assert ensemble_b.n_tasks == 15 and ensemble_b.p == 10
+
+    # The columnar ensemble holds exactly the batched draws: its rows
+    # materialize to the batched-materialized instances.
+    chain, platform = ensemble_b[0]
+    mat_chain, mat_platform = materialized_b[0]
+    assert chain == mat_chain and platform == mat_platform
 
     # Reproducibility: same spec + seed -> same ensemble.
-    again, _ = _time(batched)
-    assert all(
-        ca == cb and pa == pb
-        for (ca, pa), (cb, pb) in zip(ensemble_b, again)
+    again, _ = _time(lambda: generate_ensemble(batched))
+    assert again == ensemble_b
+
+    # Acceptance gate (ISSUE 5): >= 3x over the committed pre-columnar
+    # batched baseline at 1000 instances.
+    ensemble_us = seconds_ens / N_INSTANCES * 1e6
+    assert ensemble_us * 3.0 <= PRE_COLUMNAR_BATCHED_US, (
+        f"columnar generation too slow: {ensemble_us:.1f} us/instance vs "
+        f"the {PRE_COLUMNAR_BATCHED_US} us pre-columnar baseline"
     )
 
     return {
         "batched_speedup": seconds_pi / seconds_b,
+        "ensemble_vs_materialized_speedup": seconds_b / seconds_ens,
+        "ensemble_us_per_instance": ensemble_us,
         "batched_us_per_instance": seconds_b / N_INSTANCES * 1e6,
         "per_instance_us_per_instance": seconds_pi / N_INSTANCES * 1e6,
     }
@@ -87,7 +118,7 @@ def test_scenario_generation_throughput(benchmark):
         get_scenario("high-heterogeneity")
         .spec.with_(n_instances=N_INSTANCES, rng_mode="batched")
     )
-    benchmark(lambda: generate_instances(batched, seed=1))
+    benchmark(lambda: generate_ensemble(batched, seed=1))
 
 
 if __name__ == "__main__":

@@ -23,8 +23,9 @@ against the committed ``benchmarks/baseline.json``.
 import time
 
 from repro.algorithms import heuristic_best
+from repro.core import Platform
 from repro.experiments import get_method
-from repro.scenarios import generate_instances, get_scenario
+from repro.scenarios import generate_ensemble, get_scenario
 from repro.solve import Problem, plan_methods, solve
 
 try:
@@ -63,7 +64,7 @@ def run_facade_bench() -> dict:
     call on the same instance in the same process, so they compare
     across machines; ``direct_us`` is informational only.
     """
-    chain, platform = generate_instances(
+    chain, platform = generate_ensemble(
         get_scenario("section8-hom").spec.with_(n_instances=1), seed=3
     )[0]
     problem = Problem(chain, platform, max_period=P, max_latency=L)
@@ -83,6 +84,23 @@ def run_facade_bench() -> dict:
     )["c"]
     plan = _time_interleaved({"p": lambda: plan_methods("section8-hom")})["p"]
 
+    # Platform/TaskChain hash caching: hashing an object repeatedly
+    # (dict/set-heavy sweep code) must cost a dictionary probe, not a
+    # re-serialization of both arrays on every call.
+    def fresh_platform_hash():
+        return hash(Platform(
+            speeds=platform.speeds, failure_rates=platform.failure_rates,
+            bandwidth=platform.bandwidth,
+            link_failure_rate=platform.link_failure_rate,
+            max_replication=platform.max_replication,
+        ))
+
+    hash_timed = _time_interleaved({
+        "cached": lambda: hash(platform),
+        "fresh": fresh_platform_hash,
+    })
+    rehash_ratio = hash_timed["cached"] / hash_timed["fresh"]
+
     emit()
     emit(f"solve facade overhead ({chain.n} tasks x {platform.p} procs, "
          f"{ROUNDS} rounds)")
@@ -93,14 +111,18 @@ def run_facade_bench() -> dict:
         ("solve(problem, method=...)", via_facade),
         ("Problem construction", construct),
         ("plan_methods (per sweep)", plan),
+        ("hash(platform) cached", hash_timed["cached"]),
+        ("hash(platform) fresh object", hash_timed["fresh"]),
     ):
         emit(f"{label:27s} {secs * 1e6:9.1f} us")
     emit(f"facade overhead vs direct: {(via_facade - direct) / direct * 100:+.2f}%")
+    emit(f"cached rehash vs fresh construct+hash: {rehash_ratio:.3f}x")
 
     return {
         "facade_vs_direct_ratio": via_facade / direct,
         "method_vs_direct_ratio": via_method / direct,
         "construct_vs_direct_ratio": construct / direct,
+        "rehash_vs_fresh_ratio": rehash_ratio,
         "direct_us": direct * 1e6,
     }
 
@@ -116,8 +138,12 @@ def test_facade_overhead_is_negligible(benchmark):
     assert metrics["method_vs_direct_ratio"] < 1.25
     # Problem construction is micro-scale, orders below a solve.
     assert metrics["construct_vs_direct_ratio"] < 0.1
+    # Regression gate for the cached digests: rehashing an existing
+    # Platform must be far cheaper than construct+first-hash (it used
+    # to re-serialize both arrays per call).
+    assert metrics["rehash_vs_fresh_ratio"] < 0.5
 
-    chain, platform = generate_instances(
+    chain, platform = generate_ensemble(
         get_scenario("section8-hom").spec.with_(n_instances=1), seed=3
     )[0]
     problem = Problem(chain, platform, max_period=P, max_latency=L)

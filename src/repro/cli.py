@@ -482,7 +482,7 @@ def _resolve_scenario_token(token: str):
 
 def _cmd_scenario(args) -> int:
     from repro.experiments.harness import run_sweep
-    from repro.scenarios import SCENARIOS, generate_instances, scenario_hash
+    from repro.scenarios import SCENARIOS, generate_ensembles, scenario_hash
 
     if args.scenario_cmd == "list":
         header = f"{'name':20s} {'inst':>5s} {'tasks':>9s} {'procs':>7s} {'mode':>12s}  hom pair  tags"
@@ -547,9 +547,12 @@ def _cmd_scenario(args) -> int:
     methods = plan.methods()
 
     t0 = time.perf_counter()
-    ensemble = generate_instances(spec, seed=args.seed)
+    # Columnar generation: the ensembles' rows materialize lazily, so a
+    # fully cached run never builds a TaskChain or Platform object.
+    # Paired ensembles' views expose the heterogeneous side directly.
+    instances = generate_ensembles(spec, seed=args.seed)
     gen_seconds = time.perf_counter() - t0
-    n = len(ensemble)
+    n = sum(len(e) for e in instances)
     paired_note = " (paired: sweeping the heterogeneous side)" if spec.paired else ""
     print(
         f"scenario {spec.name!r}: {n} instances "
@@ -558,11 +561,6 @@ def _cmd_scenario(args) -> int:
     )
     print(f"plan: {', '.join(plan.selected)} "
           f"({len(plan.skipped)} skipped; see 'repro plan show {args.scenario}')")
-
-    if spec.paired:
-        instances = [(pair.chain, pair.het_platform) for pair in ensemble]
-    else:
-        instances = ensemble
 
     # One cache shared by the grid probes and the sweep units, so the
     # manifest's hit/miss counters cover the whole run.
@@ -613,15 +611,25 @@ def _cmd_scenario(args) -> int:
         raise SystemExit(str(exc))
     sweep_seconds = time.perf_counter() - t0
 
+    def fmt_value(value) -> str:
+        return "-" if np.isnan(value) else f"{value:.3e}"
+
     if len(bounds) == 1:
         P, L = bounds[0]
         print(f"sweep point: period <= {P:g}, latency <= {L:g} ({sweep_seconds:.3f}s)")
-        print(f"{'method':14s} {'solved':>8s}  avg failure (solved)")
+        print(
+            f"{'method':14s} {'solved':>8s}  {'avg failure':>12s}  "
+            f"{args.objective} p10/p50/p90 (solved)"
+        )
         for name in sweep.method_names:
             count = int(sweep.counts(name)[0])
             avg = sweep.average_failure(name, rule="per-method")[0]
             avg_text = f"{avg:.3e}" if count else "-"
-            print(f"{name:14s} {count:>4d}/{n:<4d} {avg_text:>12s}")
+            q10, q50, q90 = sweep.objective_quantiles(name)[:, 0]
+            print(
+                f"{name:14s} {count:>4d}/{n:<4d} {avg_text:>12s}  "
+                f"{fmt_value(q10)} / {fmt_value(q50)} / {fmt_value(q90)}"
+            )
     else:
         from repro.experiments.figures import FigureResult
         from repro.experiments.report import render_series_table
@@ -641,6 +649,20 @@ def _cmd_scenario(args) -> int:
             )
             print(f"\n{what} vs {args.grid_axis} bound:")
             print(render_series_table(fig, x_label=args.grid_axis))
+        # Per-point quantiles of the *achieved* objective (ROADMAP
+        # "objective-aware sweep aggregations"): how good the optimum
+        # is across the ensemble, not just how often one exists.
+        for name in sweep.method_names:
+            q = sweep.objective_quantiles(name)
+            fig = FigureResult(
+                figure="objective", experiment=spec.name, metric="objective",
+                xs=sweep.xs,
+                series={"p10": q[0], "p50": q[1], "p90": q[2]},
+                n_instances=n, grid="auto",
+            )
+            print(f"\nachieved {args.objective} quantiles for {name} "
+                  f"vs {args.grid_axis} bound:")
+            print(render_series_table(fig, x_label=args.grid_axis))
 
     manifest = {
         "command": "scenario-run",
@@ -659,6 +681,14 @@ def _cmd_scenario(args) -> int:
                     None if np.isnan(v) else float(v)
                     for v in sweep.average_failure(name, rule="per-method")
                 ],
+                "objective_quantiles": {
+                    f"p{round(q * 100)}": [
+                        float(v) if np.isfinite(v) else None for v in row
+                    ]
+                    for q, row in zip(
+                        (0.1, 0.5, 0.9), sweep.objective_quantiles(name)
+                    )
+                },
             }
             for name in sweep.method_names
         },

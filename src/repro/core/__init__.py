@@ -5,6 +5,12 @@ and the evaluation of a mapping's reliability / latency / period
 
 from repro.core.chain import TaskChain
 from repro.core.platform import Platform
+from repro.core.ensemble import (
+    Ensemble,
+    InstanceView,
+    ensembles_from_instances,
+    instance_digest,
+)
 from repro.core.interval import Interval, compositions, partition_from_cuts
 from repro.core.mapping import Mapping
 from repro.core.evaluation import (
@@ -21,6 +27,10 @@ from repro.core.generate import random_chain, random_platform
 __all__ = [
     "TaskChain",
     "Platform",
+    "Ensemble",
+    "InstanceView",
+    "ensembles_from_instances",
+    "instance_digest",
     "Interval",
     "Mapping",
     "MappingEvaluation",

@@ -47,7 +47,7 @@ class TaskChain:
     6.0
     """
 
-    __slots__ = ("_work", "_output", "_prefix")
+    __slots__ = ("_work", "_output", "_prefix", "_hash")
 
     def __init__(self, work: Sequence[float], output: Sequence[float]) -> None:
         w = as_float_array(work, "work")
@@ -68,6 +68,7 @@ class TaskChain:
         prefix = np.concatenate(([0.0], np.cumsum(w)))
         prefix.setflags(write=False)
         self._prefix = prefix
+        self._hash: "int | None" = None
 
     # -- basic accessors ----------------------------------------------------
 
@@ -137,7 +138,11 @@ class TaskChain:
         )
 
     def __hash__(self) -> int:
-        return hash((self._work.tobytes(), self._output.tobytes()))
+        # Cached: the arrays are frozen at construction, so the digest
+        # never changes (mirrors Platform.__hash__).
+        if self._hash is None:
+            self._hash = hash((self._work.tobytes(), self._output.tobytes()))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"TaskChain(n={self.n}, total_work={self.total_work:g})"

@@ -49,7 +49,7 @@ class Platform:
     True
     """
 
-    __slots__ = ("_speeds", "_rates", "_bandwidth", "_link_rate", "_K")
+    __slots__ = ("_speeds", "_rates", "_bandwidth", "_link_rate", "_K", "_hash")
 
     def __init__(
         self,
@@ -81,6 +81,7 @@ class Platform:
         self._bandwidth = float(bandwidth)
         self._link_rate = float(link_failure_rate)
         self._K = int(max_replication)
+        self._hash: "int | None" = None
 
     # -- accessors ------------------------------------------------------------
 
@@ -166,15 +167,20 @@ class Platform:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                self._speeds.tobytes(),
-                self._rates.tobytes(),
-                self._bandwidth,
-                self._link_rate,
-                self._K,
+        # Cached: the arrays are frozen at construction, so the digest
+        # never changes — rehashing dict/set-heavy sweep code used to
+        # re-serialize both arrays on every call.
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._speeds.tobytes(),
+                    self._rates.tobytes(),
+                    self._bandwidth,
+                    self._link_rate,
+                    self._K,
+                )
             )
-        )
+        return self._hash
 
     def __repr__(self) -> str:
         kind = "homogeneous" if self.homogeneous else "heterogeneous"

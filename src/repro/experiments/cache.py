@@ -12,25 +12,44 @@ full bounds list::
 
     <cache_dir>/<key[:2]>/<key>.json
 
-where ``key = sha256(method name, base Problem hash, per-point bound
-tokens, seed, package version)`` via :func:`repro.io.content_hash` — a
-unit is one method run over a family of :class:`repro.solve.Problem`
-objects (one per sweep point, sharing chain and platform), and the key
-is derived from the shared base problem's content hash plus each
-point's bounds.  Keys are stable across process restarts, and
+where ``key = sha256(method name, instance digest, objective fields,
+per-point bound tokens, seed, package version)`` via
+:func:`repro.io.content_hash`.  The *instance digest*
+(:func:`repro.core.ensemble.instance_digest`) is a raw-array-bytes
+hash shared by the columnar :class:`~repro.core.ensemble.Ensemble`
+rows and materialized ``(chain, platform)`` pairs — deriving keys from
+it means a warm sweep over an ensemble never builds a model object or
+a JSON payload, and an ensemble sweep and its materialized twin hit
+the exact same entries.  Keys are stable across process restarts, and
 automatically invalidated when any ingredient (chain, platform,
 bounds, objective, method identity, per-unit seed, repro release)
 changes, because a different key simply never matches.  Each entry
 holds::
 
     {"repro_cache": CACHE_FORMAT, "method": ..., "n_points": ...,
-     "solved": [...bools...], "failure": [...floats...]}
+     "solved": [...bools...], "failure": [...floats...],
+     "objective_values": [...floats...]}
+
+``objective_values`` records each point's achieved objective value
+(:meth:`repro.algorithms.result.SolveResult.objective_value`) so the
+sweep aggregations can report quantiles of the optimum, not just
+solved counts.
 
 Next to sweep units the cache also stores **grid-probe records**
 (:meth:`ResultCache.put_record` under :meth:`ResultCache.probe_key`):
 the per-instance unbounded-solve scalars
 :func:`repro.solve.derive_bounds_grid` needs, so ``--grid auto`` is
 free on a warm cache.
+
+Legacy-read path
+----------------
+Format-3 entries (repro 1.2.x: keys hashed from JSON ``Problem``
+payloads, no objective values) are not lost: when a format-4 lookup
+misses, :meth:`ResultCache.get_legacy_unit` re-derives the exact key
+1.2.0 would have used and, on a hit, reconstructs the reliability
+objective values from the stored failure probabilities so the harness
+can migrate the entry under its new key.  One release later the path
+(and :data:`LEGACY_CACHE_FORMAT`) goes away.
 
 Corrupted or truncated entries (interrupted writes, disk faults) are
 treated as misses and deleted, so recovery is automatic: the unit is
@@ -51,6 +70,7 @@ run manifest written by ``python -m repro experiment``.
 from __future__ import annotations
 
 import json
+import math
 import os
 import pathlib
 import tempfile
@@ -58,18 +78,30 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.ensemble import instance_digest
 from repro.io import content_hash
 from repro.solve.problem import Problem, encode_bound
 
-__all__ = ["CACHE_FORMAT", "ResultCache", "resolve_cache"]
+__all__ = [
+    "CACHE_FORMAT",
+    "LEGACY_CACHE_FORMAT",
+    "ResultCache",
+    "resolve_cache",
+]
 
 #: Bumped to 2 with the :mod:`repro.solve` redesign (keys derived from
-#: per-point Problem content hashes), and to 3 with the tri-criteria
-#: facade: Problem payloads gained ``objective``/``min_reliability``
-#: fields (all content hashes moved) and the cache now also stores
-#: grid-probe records (:meth:`ResultCache.put_record`) next to sweep
-#: units.  Format-2 entries can never be addressed by format-3 keys.
-CACHE_FORMAT = 3
+#: per-point Problem content hashes), to 3 with the tri-criteria facade
+#: (objective/floor fields in every Problem payload, grid-probe
+#: records), and to 4 with the columnar ensemble core: keys are now
+#: derived from raw-array *instance digests* instead of JSON Problem
+#: payload hashes, and entries carry per-point achieved objective
+#: values.  Format-3 entries remain readable through the legacy path.
+CACHE_FORMAT = 4
+
+#: The cache format (and the release that wrote it) served by the
+#: one-release legacy-read path (:meth:`ResultCache.get_legacy_unit`).
+LEGACY_CACHE_FORMAT = 3
+LEGACY_CACHE_VERSION = "1.2.0"
 
 
 class ResultCache:
@@ -95,25 +127,27 @@ class ResultCache:
 
     # -- keys ------------------------------------------------------------
 
-    def unit_key(
+    def unit_key_for(
         self,
         method_name: str,
-        problems: Sequence[Problem],
+        base_digest: str,
+        bounds: Sequence[tuple[float, float]],
         seed: "int | None" = None,
         fingerprint: "str | None" = None,
         scenario: "str | None" = None,
+        objective: str = "reliability",
+        min_reliability: float = 0.0,
     ) -> str:
         """Content hash identifying one work unit's result.
 
-        A unit is one method run over a family of
-        :class:`~repro.solve.Problem` objects — one per sweep point,
-        sharing chain and platform.  The key is derived from the
-        problems' content: the shared *base* (chain + platform +
-        objective) is hashed once via
-        :meth:`~repro.solve.Problem.content_hash`, and each point
-        contributes its (P, L) bound tokens — so every ingredient is
-        covered without re-serializing the instance once per sweep
-        point.
+        A unit is one method run on one instance over a family of sweep
+        points.  *base_digest* is the instance's raw-array content
+        digest (:func:`repro.core.ensemble.instance_digest` — an
+        :class:`~repro.core.ensemble.Ensemble` row hash, or the same
+        digest computed from a materialized pair), so key derivation
+        involves no object or JSON construction; each point contributes
+        its (P, L) bound tokens, and the problem-level *objective* and
+        *min_reliability* fields are explicit ingredients.
 
         The package version and the method's implementation
         *fingerprint* (:meth:`Method.fingerprint`) are part of the
@@ -131,30 +165,57 @@ class ResultCache:
         """
         from repro import __version__
 
-        if not problems:
-            raise ValueError("a work unit needs at least one Problem")
         ingredients = {
             "repro_cache": CACHE_FORMAT,
             "repro_version": __version__,
             "method": method_name,
             "fingerprint": fingerprint,
             "seed": seed,
+            "objective": objective,
+            "min_reliability": float(min_reliability),
         }
         if scenario is not None:
             ingredients["scenario"] = scenario
         return content_hash(
             ingredients,
-            problems[0].unbounded().content_hash(),
-            [
-                [encode_bound(p.max_period), encode_bound(p.max_latency)]
-                for p in problems
-            ],
+            base_digest,
+            [[encode_bound(float(P)), encode_bound(float(L))] for P, L in bounds],
         )
 
-    def probe_key(
+    def unit_key(
         self,
         method_name: str,
-        problem: Problem,
+        problems: Sequence[Problem],
+        seed: "int | None" = None,
+        fingerprint: "str | None" = None,
+        scenario: "str | None" = None,
+    ) -> str:
+        """:meth:`unit_key_for` spelled over a materialized Problem family.
+
+        The family shares one instance (chain + platform + objective);
+        each member contributes its (P, L) bounds.  Produces exactly
+        the key an :class:`~repro.core.ensemble.Ensemble`-driven sweep
+        derives for the same instance — the bit-identity contract
+        between the columnar and materialized paths.
+        """
+        if not problems:
+            raise ValueError("a work unit needs at least one Problem")
+        base = problems[0]
+        return self.unit_key_for(
+            method_name,
+            _pair_digest(base.chain, base.platform),
+            [(p.max_period, p.max_latency) for p in problems],
+            seed=seed,
+            fingerprint=fingerprint,
+            scenario=scenario,
+            objective=base.objective,
+            min_reliability=base.min_reliability,
+        )
+
+    def probe_key_for(
+        self,
+        method_name: str,
+        base_digest: str,
         fingerprint: "str | None" = None,
     ) -> str:
         """Content hash identifying one grid-probe solve's record.
@@ -163,8 +224,8 @@ class ResultCache:
         instance once, unbounded, and keeps the solution's worst-case
         period and latency — scalars a sweep unit does not store.  The
         probe key addresses that record: same ingredients as
-        :meth:`unit_key` (method identity, package version, the
-        problem's content hash) under a distinct ``kind`` tag, so probe
+        :meth:`unit_key_for` (method identity, package version, the
+        instance digest) under a distinct ``kind`` tag, so probe
         records and sweep units can never collide.
         """
         from repro import __version__
@@ -177,7 +238,20 @@ class ResultCache:
                 "method": method_name,
                 "fingerprint": fingerprint,
             },
-            problem.content_hash(),
+            base_digest,
+        )
+
+    def probe_key(
+        self,
+        method_name: str,
+        problem: Problem,
+        fingerprint: "str | None" = None,
+    ) -> str:
+        """:meth:`probe_key_for` spelled over a materialized Problem."""
+        return self.probe_key_for(
+            method_name,
+            _pair_digest(problem.chain, problem.platform),
+            fingerprint=fingerprint,
         )
 
     def _path(self, key: str) -> pathlib.Path:
@@ -185,21 +259,21 @@ class ResultCache:
 
     # -- lookup / store --------------------------------------------------
 
-    def get(self, key: str, n_points: int) -> "tuple[np.ndarray, np.ndarray] | None":
-        """Return ``(solved, failure)`` arrays, or None on miss.
+    def get(
+        self, key: str, n_points: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None] | None":
+        """Return ``(solved, failure, objective_values)``, or None on miss.
 
-        A malformed entry (bad JSON, wrong version, wrong length) counts
-        as a miss and is deleted so the recomputed unit overwrites it.
+        ``objective_values`` is None for entries stored without them
+        (direct :meth:`put` calls, migrated legacy units for
+        non-reliability objectives).  A malformed entry (bad JSON,
+        wrong version, wrong length) counts as a miss and is deleted so
+        the recomputed unit overwrites it.
         """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            if payload["repro_cache"] != CACHE_FORMAT:
-                raise ValueError("cache format mismatch")
-            solved = np.asarray(payload["solved"], dtype=bool)
-            failure = np.asarray(payload["failure"], dtype=float)
-            if solved.shape != (n_points,) or failure.shape != (n_points,):
-                raise ValueError("cache entry shape mismatch")
+            arrays = self._unit_arrays_from(payload, n_points, CACHE_FORMAT)
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -212,9 +286,83 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
-        return solved, failure
+        return arrays
 
-    def put(self, key: str, solved: np.ndarray, failure: np.ndarray, method_name: str = "") -> None:
+    @staticmethod
+    def _unit_arrays_from(
+        payload: dict, n_points: int, expected_format: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
+        if payload["repro_cache"] != expected_format:
+            raise ValueError("cache format mismatch")
+        solved = np.asarray(payload["solved"], dtype=bool)
+        failure = np.asarray(payload["failure"], dtype=float)
+        if solved.shape != (n_points,) or failure.shape != (n_points,):
+            raise ValueError("cache entry shape mismatch")
+        objective_values = None
+        if payload.get("objective_values") is not None:
+            # float() also decodes the "inf" tokens _encode_value writes.
+            objective_values = np.array(
+                [float(v) for v in payload["objective_values"]], dtype=float
+            )
+            if objective_values.shape != (n_points,):
+                raise ValueError("cache entry shape mismatch")
+        return solved, failure, objective_values
+
+    def get_legacy_unit(
+        self,
+        method_name: str,
+        problem_payload: dict,
+        bounds: Sequence[tuple[float, float]],
+        fingerprint: "str | None" = None,
+        scenario: "str | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
+        """Look one unit up under its pre-columnar (format-3) key.
+
+        *problem_payload* is the unit's unbounded base ``Problem`` in
+        :mod:`repro.io` form (buildable straight from ensemble columns
+        — no objects); the key is re-derived exactly as repro
+        :data:`LEGACY_CACHE_VERSION` computed it.  Only ``objective="reliability"`` units
+        are resolvable — their achieved objective values reconstruct
+        exactly as ``1 - failure`` — and only unseeded ones (legacy
+        per-unit seeds hashed the JSON payload, which no longer exists
+        on the hot path).  Does **not** count a miss (the caller's
+        format-4 lookup already did); counts a hit on success so warm
+        migrated runs still report zero recomputation.
+        """
+        if problem_payload.get("objective", "reliability") != "reliability":
+            return None
+        legacy_key = content_hash(
+            {
+                "repro_cache": LEGACY_CACHE_FORMAT,
+                "repro_version": LEGACY_CACHE_VERSION,
+                "method": method_name,
+                "fingerprint": fingerprint,
+                "seed": None,
+                **({"scenario": scenario} if scenario is not None else {}),
+            },
+            content_hash(problem_payload),
+            [[encode_bound(float(P)), encode_bound(float(L))] for P, L in bounds],
+        )
+        try:
+            payload = json.loads(self._path(legacy_key).read_text())
+            solved, failure, _ = self._unit_arrays_from(
+                payload, len(bounds), LEGACY_CACHE_FORMAT
+            )
+        except (FileNotFoundError, ValueError, KeyError, TypeError, OSError):
+            return None
+        self.hits += 1
+        # objective_value("reliability") is 1 - failure_probability for
+        # solved points and exactly 0.0 (failure 1.0) elsewhere.
+        return solved, failure, 1.0 - failure
+
+    def put(
+        self,
+        key: str,
+        solved: np.ndarray,
+        failure: np.ndarray,
+        objective_values: "np.ndarray | None" = None,
+        method_name: str = "",
+    ) -> None:
         """Store one unit's arrays atomically (temp file + rename)."""
         self.put_record(
             key,
@@ -223,6 +371,9 @@ class ResultCache:
                 "n_points": int(len(solved)),
                 "solved": [bool(s) for s in solved],
                 "failure": [float(f) for f in failure],
+                "objective_values": None
+                if objective_values is None
+                else [_encode_value(v) for v in objective_values],
             },
         )
 
@@ -282,6 +433,27 @@ class ResultCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+
+
+def _pair_digest(chain, platform) -> str:
+    """A materialized pair's :func:`instance_digest` — the one digest
+    spelling shared by unit keys and probe keys, so the two can never
+    drift apart ingredient-wise."""
+    return instance_digest(
+        chain.work,
+        chain.output,
+        platform.speeds,
+        platform.failure_rates,
+        platform.bandwidth,
+        platform.link_failure_rate,
+        platform.max_replication,
+    )
+
+
+def _encode_value(value: float) -> "float | str":
+    """JSON-safe float encoding for objective values (inf -> "inf")."""
+    value = float(value)
+    return value if math.isfinite(value) else repr(value)
 
 
 def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None") -> "ResultCache | None":

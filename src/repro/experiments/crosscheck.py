@@ -332,7 +332,7 @@ def run_crosscheck(
     payloads: "list[tuple[dict, dict] | None]" = [None] * n_instances
     if scenario is not None:
         from repro.scenarios import (
-            generate_instances,
+            generate_ensembles,
             resolve_scenario,
             spec_is_homogeneous,
         )
@@ -346,17 +346,17 @@ def run_crosscheck(
                 f"generates heterogeneous platforms"
             )
         sized = spec.with_(n_tasks=n_tasks, p=p, n_instances=n_instances)
-        ensemble = generate_instances(sized, seed=seed)
-        if len(ensemble) > n_instances:
+        views = [v for e in generate_ensembles(sized, seed=seed) for v in e]
+        if len(views) > n_instances:
             # Sweep-axis specs expand to len(variants) * n_instances
             # instances; keep the population at n_instances but sample
             # it evenly so every variant regime retains coverage
             # instead of silently checking only the first variant.
-            chosen = np.linspace(0, len(ensemble) - 1, n_instances).round().astype(int)
-            ensemble = [ensemble[i] for i in chosen]
-        payloads = [
-            (to_dict(chain), to_dict(platform)) for chain, platform in ensemble
-        ]
+            chosen = np.linspace(0, len(views) - 1, n_instances).round().astype(int)
+            views = [views[i] for i in chosen]
+        # The chosen rows materialize here (and only here) — the
+        # cross-check genuinely solves every instance.
+        payloads = [(to_dict(v.chain), to_dict(v.platform)) for v in views]
     master = ensure_rng(seed)
     seeds = spawn_seeds(master, n_instances)
     if jobs == 1 or n_instances <= 1:

@@ -34,7 +34,7 @@ from typing import Callable
 import numpy as np
 
 from repro.experiments.harness import SweepResult, run_sweep
-from repro.scenarios import generate_instances, get_scenario, scenario_hash
+from repro.scenarios import generate_ensemble, get_scenario, scenario_hash
 from repro.solve.planner import Plan, Planner
 
 __all__ = [
@@ -234,27 +234,28 @@ def run_experiment(
 
     sweeps: dict[str, SweepResult] = {}
     if spec.kind == "hom":
-        # The Section 8.1 suite, materialized from its declarative spec
-        # (bit-identical to the legacy homogeneous_suite for any seed).
-        instances = generate_instances(scn, seed=seed)
+        # The Section 8.1 suite as a columnar ensemble from its
+        # declarative spec (rows bit-identical to the legacy
+        # homogeneous_suite for any seed).
+        ensemble = generate_ensemble(scn, seed=seed)
         sweeps["hom"] = run_sweep(
-            instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
+            ensemble, methods, bounds, xs=xs, jobs=jobs, cache=cache,
             scenario_key=scn_hash,
         )
     else:
-        pairs = generate_instances(scn, seed=seed)
-        het_instances = [(p.chain, p.het_platform) for p in pairs]
-        hom_instances = [(p.chain, p.hom_platform) for p in pairs]
-        # One scenario hash for both sides: the unit keys already hash
-        # each instance's platform, so het/hom units cannot collide —
-        # and a direct run_sweep("section8-het", ...) shares this cache.
+        # A paired ensemble's views expose the heterogeneous side; its
+        # hom_counterpart() is the columnar speed-5 twin.  One scenario
+        # hash for both sides: the unit keys already hash each
+        # instance's platform, so het/hom units cannot collide — and a
+        # direct run_sweep("section8-het", ...) shares this cache.
+        ensemble = generate_ensemble(scn, seed=seed)
         sweeps["het"] = run_sweep(
-            het_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
+            ensemble, methods, bounds, xs=xs, jobs=jobs, cache=cache,
             scenario_key=scn_hash,
         )
         sweeps["hom"] = run_sweep(
-            hom_instances, methods, bounds, xs=xs, jobs=jobs, cache=cache,
-            scenario_key=scn_hash,
+            ensemble.hom_counterpart(), methods, bounds, xs=xs, jobs=jobs,
+            cache=cache, scenario_key=scn_hash,
         )
     return ExperimentResult(
         spec=spec,

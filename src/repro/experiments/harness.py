@@ -1,8 +1,8 @@
-"""Bound-sweep runner: parallel, cache-backed, deterministic.
+"""Bound-sweep runner: columnar, parallel, cache-backed, deterministic.
 
 For a suite of instances and a list of sweep points ``(P, L)``, run each
-method on each instance at each point and aggregate the two statistics
-the paper plots:
+method on each instance at each point and aggregate the statistics the
+paper plots:
 
 * **number of solutions** — instances for which the method found a
   mapping within the bounds (Figures 6, 8, 10, 12, 14);
@@ -16,30 +16,43 @@ the paper plots:
     instance set;
   - ``"per-method"`` (Figures 13, 15): each curve averages over the
     instances *it* solved ("the average values are then not computed on
-    the same set of instances", Section 8.2).
+    the same set of instances", Section 8.2);
+
+* **achieved objective quantiles** — per-point p10/p50/p90 of the
+  solved instances' :meth:`~repro.algorithms.result.SolveResult
+  .objective_value` (the optimal reliability/period/latency/energy
+  across the ensemble), so converse-objective curves carry the same
+  richness as the Figure 6 ones.
 
 Execution model
 ---------------
-The sweep decomposes into independent **work units** — one registered
-method run on one instance across the whole bounds list.  Internally a
-unit is a family of :class:`repro.solve.Problem` objects (one per
-sweep point, sharing the instance's chain and platform) handed to
-:meth:`Method.solve_problem`.  Units are
+Instances travel as columnar ensembles
+(:class:`repro.core.ensemble.Ensemble`): scenario arguments generate
+them natively, explicit ``(chain, platform)`` lists are grouped into
+them, and rows only materialize ``TaskChain``/``Platform`` objects when
+a solver actually runs.  The sweep decomposes into independent **work
+units** — one registered method run on one instance across the whole
+bounds list.  Units are
 
-* **cached**: each unit's ``(solved, failure)`` arrays are stored under
-  a content hash derived from the method name, the per-point *Problem
-  hashes*, the per-unit seed, and — for sweeps materialized from a
+* **cached**: each unit's ``(solved, failure, objective_values)``
+  arrays are stored under a content hash derived from the method name,
+  the instance's raw-array *row digest*
+  (:meth:`~repro.core.ensemble.Ensemble.row_hash`), the objective
+  fields, the per-unit seed, and — for sweeps materialized from a
   declarative scenario (:mod:`repro.scenarios`) — the scenario spec's
-  content hash (:mod:`repro.experiments.cache`), so figures, benches,
-  and cross-checks share work instead of recomputing;
+  content hash (:mod:`repro.experiments.cache`).  A warm sweep
+  therefore touches only array bytes: no objects, no JSON.  Format-3
+  entries (pre-columnar) are still found through the cache's
+  legacy-read path and migrated in place;
 * **parallel**: with ``jobs > 1``, uncached units fan out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Workers receive the
-  method *name* plus a JSON payload of the unit's base Problem
-  (closures do not pickle; registry names and Problems do), and
-  results land back by unit index — so parallel output is
-  **bit-identical** to the serial path.  Expensive units (by
-  :attr:`Method.cost_hint`) are submitted first so they do not
-  straggle at the tail of the pool queue;
+  :class:`concurrent.futures.ProcessPoolExecutor` in **columnar
+  shards**: workers receive the method *name* plus one payload per
+  shard carrying the raw rows of several instances (closures do not
+  pickle; registry names and arrays do), rebuild a small ensemble, and
+  return per-unit arrays — results land back by unit index, so
+  parallel output is **bit-identical** to the serial path.  Expensive
+  units (by :attr:`Method.cost_hint`) are submitted first so they do
+  not straggle at the tail of the pool queue;
 * **seeded**: stochastic methods (``Method.seeded``) get a
   deterministic per-unit seed via :func:`repro.util.rng.stable_seed`,
   derived from the unit's content — identical whether the unit runs
@@ -57,6 +70,7 @@ Environment
 
 from __future__ import annotations
 
+import math
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
@@ -64,15 +78,19 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.chain import TaskChain
-from repro.core.platform import Platform
+from repro.core.ensemble import Ensemble, InstanceView, ensembles_from_instances
 from repro.experiments.cache import ResultCache, resolve_cache
 from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
-from repro.io import from_dict, to_dict
-from repro.solve.problem import Problem
+from repro.io import FORMAT_VERSION
+from repro.solve.problem import Problem, encode_bound
 from repro.util.rng import stable_seed
 
 __all__ = ["SweepResult", "run_sweep", "resolve_jobs"]
+
+#: Shard sizing: aim for this many shards per worker (load balancing
+#: headroom) without exceeding _SHARD_MAX units per payload.
+_SHARD_WAVES = 4
+_SHARD_MAX = 32
 
 
 @dataclass
@@ -90,12 +108,21 @@ class SweepResult:
         Boolean array ``(n_methods, n_points, n_instances)``.
     failure:
         Failure probability array, same shape (1.0 where unsolved).
+    objective_values:
+        Achieved objective value array, same shape — what
+        :meth:`~repro.algorithms.result.SolveResult.objective_value`
+        returned per solve (0.0 / ``inf`` fill where unsolved,
+        matching its conventions).
+    objective:
+        The :data:`repro.solve.OBJECTIVES` entry the sweep carried.
     """
 
     xs: np.ndarray
     method_names: list[str]
     solved: np.ndarray
     failure: np.ndarray
+    objective_values: "np.ndarray | None" = None
+    objective: str = "reliability"
 
     def counts(self, method: str) -> np.ndarray:
         """Solutions found per sweep point (the Fig. 6-style series)."""
@@ -129,6 +156,35 @@ class SweepResult:
         with np.errstate(invalid="ignore"):
             return np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
 
+    def objective_quantiles(
+        self, method: str, quantiles: Sequence[float] = (0.1, 0.5, 0.9)
+    ) -> np.ndarray:
+        """Per-point quantiles of the achieved objective value.
+
+        Returns a ``(len(quantiles), n_points)`` array of quantiles of
+        :attr:`objective_values` over the instances *method* solved at
+        each point (NaN where it solved none) — p10/p50/p90 by
+        default, the spread the converse-objective curves plot
+        alongside solved counts.
+        """
+        if self.objective_values is None:
+            raise ValueError(
+                "this sweep recorded no objective values (constructed "
+                "without them)"
+            )
+        i = self._idx(method)
+        qs = [float(q) for q in quantiles]
+        if any(not 0.0 <= q <= 1.0 for q in qs):
+            raise ValueError(f"quantiles must lie in [0, 1], got {quantiles!r}")
+        mask = self.solved[i]
+        values = self.objective_values[i]
+        out = np.full((len(qs), mask.shape[0]), np.nan)
+        for pt in range(mask.shape[0]):
+            picked = values[pt, mask[pt]]
+            if picked.size:
+                out[:, pt] = np.quantile(picked, qs)
+        return out
+
     def _idx(self, method: str) -> int:
         try:
             return self.method_names.index(method)
@@ -157,18 +213,23 @@ def _unit_problems(
 
 def _unit_arrays(
     method: Method,
-    base: Problem,
+    view: InstanceView,
     bounds: Sequence[tuple[float, float]],
     seed: "int | None",
-) -> tuple[np.ndarray, np.ndarray]:
+    objective: str,
+    min_reliability: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Run one work unit: one method on one instance over all bounds.
 
     The single computation shared verbatim by the serial path and the
     worker processes — the reason ``jobs=1`` and ``jobs=N`` agree bit
-    for bit.
+    for bit.  Materializes the view's chain/platform here (and only
+    here): cached units never reach this function.
     """
+    base = view.problem(objective=objective, min_reliability=min_reliability)
     solved = np.zeros(len(bounds), dtype=bool)
     failure = np.ones(len(bounds), dtype=float)
+    objective_values = np.empty(len(bounds), dtype=float)
     for pi, problem in enumerate(_unit_problems(base, bounds)):
         res = method.solve_problem(
             problem, seed=stable_seed(seed, pi) if method.seeded else None
@@ -176,26 +237,31 @@ def _unit_arrays(
         solved[pi] = res.feasible
         if res.feasible:
             failure[pi] = res.evaluation.failure_probability
-    return solved, failure
+        objective_values[pi] = res.objective_value(objective)
+    return solved, failure, objective_values
 
 
-def _solve_unit_payload(
+def _solve_shard_payload(
     method_name: str,
     fingerprint: str,
-    problem_payload: dict,
+    shard: dict,
     bounds: Sequence[tuple[float, float]],
-    seed: "int | None",
-) -> tuple[list[bool], list[float]]:
-    """Worker-side entry point: rebuild the unit from a JSON payload.
+    seeds: Sequence["int | None"],
+    objective: str,
+    min_reliability: float,
+) -> list[tuple[list[bool], list[float], list[float]]]:
+    """Worker-side entry point: rebuild a columnar shard and run its units.
 
-    Module-level (picklable) and name-addressed: the worker resolves the
-    method from its own registry and the base :class:`Problem` from its
-    :mod:`repro.io` payload, so no closure ever crosses the process
-    boundary.  The fingerprint handshake guards spawn-start workers: if
-    this process's registry binds *method_name* to different code than
-    the parent's (a missing or differently re-registered method), raise
-    UnknownMethodError so the parent recomputes the unit itself instead
-    of silently using the wrong solver.
+    Module-level (picklable) and name-addressed: the worker resolves
+    the method from its own registry and reassembles a small
+    :class:`~repro.core.ensemble.Ensemble` from the shard's raw rows,
+    so no closure — and no per-instance object graph — ever crosses
+    the process boundary.  The fingerprint handshake guards spawn-start
+    workers: if this process's registry binds *method_name* to
+    different code than the parent's (a missing or differently
+    re-registered method), raise UnknownMethodError so the parent
+    recomputes the shard itself instead of silently using the wrong
+    solver.
     """
     method = get_method(method_name)
     if method.fingerprint() != fingerprint:
@@ -203,57 +269,148 @@ def _solve_unit_payload(
             f"method {method_name!r} resolves to different code in this "
             f"worker than in the parent process"
         )
-    base = from_dict(problem_payload)
-    solved, failure = _unit_arrays(method, base, bounds, seed)
-    return [bool(s) for s in solved], [float(f) for f in failure]
+    ensemble = Ensemble(
+        work=shard["work"],
+        output=shard["output"],
+        speeds=shard["speeds"],
+        failure_rates=shard["failure_rates"],
+        bandwidth=shard["bandwidth"],
+        link_failure_rate=shard["link_failure_rate"],
+        max_replication=shard["max_replication"],
+    )
+    out = []
+    for j, seed in enumerate(seeds):
+        solved, failure, objective_values = _unit_arrays(
+            method, ensemble[j], bounds, seed, objective, min_reliability
+        )
+        out.append(
+            (
+                [bool(s) for s in solved],
+                [float(f) for f in failure],
+                [float(v) for v in objective_values],
+            )
+        )
+    return out
 
 
-def _unit_seed(method: Method, base: Problem,
-               bounds: Sequence[tuple[float, float]]) -> "int | None":
+def _shard_payload(ensemble: Ensemble, rows: Sequence[int]) -> dict:
+    """Columnar payload for a shard: the raw rows the units need."""
+    rows = list(rows)
+    if ensemble.platform_shared:
+        # One stored platform row serves every unit — ship it once.
+        speeds = np.asarray(ensemble.speeds[:1])
+        rates = np.asarray(ensemble.failure_rates[:1])
+    else:
+        speeds = ensemble.speeds[rows]
+        rates = ensemble.failure_rates[rows]
+    return {
+        "work": ensemble.work[rows],
+        "output": ensemble.output[rows],
+        "speeds": speeds,
+        "failure_rates": rates,
+        "bandwidth": ensemble.bandwidth,
+        "link_failure_rate": ensemble.link_failure_rate,
+        "max_replication": ensemble.max_replication,
+    }
+
+
+def _unit_seed(
+    method: Method,
+    view: InstanceView,
+    bounds: Sequence[tuple[float, float]],
+    objective: str,
+    min_reliability: float,
+) -> "int | None":
     """Deterministic per-unit seed for stochastic methods (else None)."""
     if not method.seeded:
         return None
     return stable_seed(
         "sweep-unit",
         method.name,
-        base.content_hash(),
+        view.row_hash,
+        objective,
+        float(min_reliability),
         tuple((float(P), float(L)) for P, L in bounds),
     )
 
 
+def _base_problem_payload(
+    view: InstanceView, objective: str, min_reliability: float
+) -> dict:
+    """The unit's unbounded base Problem in :mod:`repro.io` form.
+
+    Built straight from the ensemble columns — no ``TaskChain`` /
+    ``Platform`` / ``Problem`` objects — and byte-identical to
+    ``to_dict(Problem(chain, platform, ...).unbounded())``, which is
+    what lets the cache's legacy-read path re-derive pre-columnar keys
+    without materializing anything.  The equivalence with the real
+    codec is pinned by ``tests/test_result_cache.py``'s legacy
+    migration tests (they plant entries keyed via
+    ``Problem.content_hash()`` and assert this path finds them); the
+    duplication dies with the legacy path one release after 1.3.
+    """
+    return {
+        "type": "Problem",
+        "chain": {
+            "type": "TaskChain",
+            "work": view.work.tolist(),
+            "output": view.output.tolist(),
+            "repro_format": FORMAT_VERSION,
+        },
+        "platform": {
+            "type": "Platform",
+            "speeds": view.speeds.tolist(),
+            "failure_rates": view.failure_rates.tolist(),
+            "bandwidth": view.bandwidth,
+            "link_failure_rate": view.link_failure_rate,
+            "max_replication": view.max_replication,
+            "repro_format": FORMAT_VERSION,
+        },
+        "max_period": encode_bound(math.inf),
+        "max_latency": encode_bound(math.inf),
+        "objective": objective,
+        "min_reliability": float(min_reliability),
+        "repro_format": FORMAT_VERSION,
+    }
+
+
 def _resolve_instances(
     instances, seed: int, n_instances: "int | None", scenario_key: "str | None"
-) -> tuple[list, "str | None"]:
-    """Materialize a scenario argument into ``(chain, platform)`` pairs.
+) -> tuple["list[Ensemble]", "str | None"]:
+    """Normalize an instances argument to columnar ensembles.
 
-    Plain instance lists pass through untouched.  A scenario name,
+    An :class:`~repro.core.ensemble.Ensemble` (or a list of them)
+    passes through; plain ``(chain, platform)`` lists are grouped into
+    ensembles (:func:`repro.core.ensemble.ensembles_from_instances`)
+    preserving order.  A scenario name,
     :class:`~repro.scenarios.spec.ScenarioSpec`, or
     :class:`~repro.scenarios.registry.Scenario` is generated here
     (seeded by *seed*, optionally overriding the spec's instance
     count), and the spec's content hash becomes the sweep's cache-key
     scenario component — unless the caller pinned *scenario_key*
-    explicitly.  Paired (Section 8.2-shaped) scenarios contribute their
-    heterogeneous side; sweep the two sides separately (as
-    :func:`repro.experiments.figures.run_experiment` does) to compare
-    against the homogeneous counterparts.
+    explicitly.  Paired (Section 8.2-shaped) ensembles contribute
+    their heterogeneous side (their views); sweep
+    :meth:`~repro.core.ensemble.Ensemble.hom_counterpart` separately
+    (as :func:`repro.experiments.figures.run_experiment` does) to
+    compare against the homogeneous counterparts.
     """
+    if isinstance(instances, Ensemble):
+        return [instances], scenario_key
     if isinstance(instances, (list, tuple)):
-        return list(instances), scenario_key
-    from repro.scenarios import generate_instances, resolve_scenario, scenario_hash
+        return ensembles_from_instances(instances), scenario_key
+    from repro.scenarios import generate_ensembles, resolve_scenario, scenario_hash
 
     spec, _ = resolve_scenario(instances)
     if n_instances is not None:
         spec = spec.with_(n_instances=n_instances)
-    generated = generate_instances(spec, seed=seed)
-    if spec.paired:
-        generated = [(pair.chain, pair.het_platform) for pair in generated]
+    ensembles = generate_ensembles(spec, seed=seed)
     if scenario_key is None:
         scenario_key = scenario_hash(spec)
-    return generated, scenario_key
+    return ensembles, scenario_key
 
 
 def run_sweep(
-    instances: "Sequence[tuple[TaskChain, Platform]] | str",
+    instances: "Ensemble | Sequence | str",
     methods: Sequence[Method],
     bounds: Sequence[tuple[float, float]],
     xs: Sequence[float] | None = None,
@@ -271,14 +428,17 @@ def run_sweep(
     Parameters
     ----------
     instances:
-        ``(chain, platform)`` pairs — or a declarative workload: a
-        registered scenario name (``"section8-hom"``), a
+        A columnar :class:`~repro.core.ensemble.Ensemble` (or list of
+        them), ``(chain, platform)`` pairs — or a declarative
+        workload: a registered scenario name (``"section8-hom"``), a
         :class:`~repro.scenarios.spec.ScenarioSpec`, or a
         :class:`~repro.scenarios.registry.Scenario`.  Scenario
         ensembles are generated with *seed* (and *n_instances*, when
         given), and the spec's content hash is folded into every unit's
         cache key — a repeated sweep over the same named scenario is
-        served entirely from cache.
+        served entirely from cache.  All forms derive identical cache
+        keys for identical instances, so an ensemble sweep and its
+        materialized twin share entries bit for bit.
     methods:
         The methods to compare (a heterogeneous platform with a
         homogeneous-only method raises immediately).
@@ -302,33 +462,45 @@ def run_sweep(
         spec hash; used by the experiment runners to distinguish the
         two sides of a paired scenario).
     objective, min_reliability:
-        Forwarded to every unit's base :class:`~repro.solve.Problem`,
-        so a sweep can count e.g. how many instances admit a
-        period-minimizing mapping above a reliability floor as the
-        latency bound varies.  Both are part of the Problem content
-        the cache keys hash, so sweeps over different objectives (or
-        floors) never share entries.  Methods that do not declare the
-        objective raise up front, exactly like a homogeneous-only
-        method on a heterogeneous platform — plan with
-        :meth:`repro.solve.Planner.plan` to pre-filter.
+        Carried by every unit's solves, so a sweep can count e.g. how
+        many instances admit a period-minimizing mapping above a
+        reliability floor as the latency bound varies — and aggregate
+        the achieved optima (:meth:`SweepResult.objective_quantiles`).
+        Both are cache-key ingredients, so sweeps over different
+        objectives (or floors) never share entries.  Methods that do
+        not declare the objective raise up front, exactly like a
+        homogeneous-only method on a heterogeneous platform — plan
+        with :meth:`repro.solve.Planner.plan` to pre-filter.
     """
-    instances, scenario_key = _resolve_instances(instances, seed, n_instances, scenario_key)
-    if not instances:
+    ensembles, scenario_key = _resolve_instances(instances, seed, n_instances, scenario_key)
+    views: list[InstanceView] = [v for e in ensembles for v in e]
+    if not views:
         raise ValueError("need at least one instance")
     if not bounds:
         raise ValueError("need at least one sweep point")
-    # One unbounded base Problem per instance; each unit bounds it per
-    # sweep point (the Problem family is also what the cache hashes).
-    bases = [
-        Problem(
-            chain, platform,
-            objective=objective, min_reliability=min_reliability,
+    # Mirror Problem's own validation up front: bases materialize
+    # lazily now, so a bad floor must not first surface mid-sweep (or
+    # silently land in cache keys).
+    from repro.solve.problem import OBJECTIVES
+
+    if objective not in OBJECTIVES:
+        raise ValueError(f"unknown objective {objective!r}; supported: {OBJECTIVES}")
+    min_reliability = float(min_reliability)
+    if math.isnan(min_reliability) or not 0.0 <= min_reliability < 1.0:
+        raise ValueError(
+            f"min_reliability must lie in [0, 1) (0 = no floor), got {min_reliability!r}"
         )
-        for chain, platform in instances
-    ]
+    if objective == "reliability" and min_reliability != 0.0:
+        raise ValueError(
+            "min_reliability is a constraint for the converse objectives "
+            "('period', 'latency', 'energy'); with objective='reliability' "
+            "the criterion itself is maximized — leave the floor at 0.0"
+        )
+    # Capability checks run once per ensemble over the raw columns —
+    # no instance materializes just to be validated.
     for method in methods:
-        for base in bases:
-            method.check_problem(base)
+        for ensemble in ensembles:
+            method.check_ensemble(ensemble, objective=objective)
 
     if xs is None:
         periods = {p for p, _ in bounds}
@@ -355,34 +527,72 @@ def run_sweep(
 
     fingerprints = {m.name: m.fingerprint() for m in methods if registered(m)}
 
-    n_m, n_pts, n_inst = len(methods), len(bounds), len(instances)
+    n_m, n_pts, n_inst = len(methods), len(bounds), len(views)
     solved = np.zeros((n_m, n_pts, n_inst), dtype=bool)
     failure = np.ones((n_m, n_pts, n_inst), dtype=float)
+    objective_values = np.full(
+        (n_m, n_pts, n_inst), 0.0 if objective == "reliability" else np.inf
+    )
 
     # Resolve cached units first; everything else becomes pending work.
     pending: list[tuple[int, int, "int | None", "str | None"]] = []
     for mi, method in enumerate(methods):
-        for ii, base in enumerate(bases):
-            seed = _unit_seed(method, base, bounds)
+        for ii, view in enumerate(views):
+            unit_seed = _unit_seed(method, view, bounds, objective, min_reliability)
             key = None
             if store is not None and registered(method):
-                key = store.unit_key(
-                    method.name, _unit_problems(base, bounds), seed,
+                key = store.unit_key_for(
+                    method.name,
+                    view.row_hash,
+                    bounds,
+                    seed=unit_seed,
                     fingerprint=fingerprints[method.name],
                     scenario=scenario_key,
+                    objective=objective,
+                    min_reliability=min_reliability,
                 )
                 hit = store.get(key, n_pts)
+                if hit is None and unit_seed is None:
+                    # One release of grace for pre-columnar caches:
+                    # re-derive the format-3 key (this is the only spot
+                    # that still builds a JSON payload, and only on a
+                    # miss) and migrate the entry under its new key.
+                    hit = store.get_legacy_unit(
+                        method.name,
+                        _base_problem_payload(view, objective, min_reliability),
+                        bounds,
+                        fingerprint=fingerprints[method.name],
+                        scenario=scenario_key,
+                    )
+                    if hit is not None:
+                        store.put(key, *hit, method_name=method.name)
                 if hit is not None:
-                    solved[mi, :, ii], failure[mi, :, ii] = hit
-                    continue
-            pending.append((mi, ii, seed, key))
+                    unit_solved, unit_failure, unit_values = hit
+                    solved[mi, :, ii] = unit_solved
+                    failure[mi, :, ii] = unit_failure
+                    if unit_values is not None:
+                        objective_values[mi, :, ii] = unit_values
+                        continue
+                    # An entry without objective values (stored through
+                    # the bare put() API) cannot serve the new
+                    # aggregations; recompute it below.
+            pending.append((mi, ii, unit_seed, key))
 
     def finish(mi: int, ii: int, key: "str | None",
-               unit_solved: np.ndarray, unit_failure: np.ndarray) -> None:
+               unit_solved: np.ndarray, unit_failure: np.ndarray,
+               unit_values: np.ndarray) -> None:
         solved[mi, :, ii] = unit_solved
         failure[mi, :, ii] = unit_failure
+        objective_values[mi, :, ii] = unit_values
         if store is not None and key is not None:
-            store.put(key, unit_solved, unit_failure, method_name=methods[mi].name)
+            store.put(key, unit_solved, unit_failure, unit_values,
+                      method_name=methods[mi].name)
+
+    def run_local(unit: tuple) -> None:
+        mi, ii, unit_seed, key = unit
+        finish(mi, ii, key, *_unit_arrays(
+            methods[mi], views[ii], bounds, unit_seed, objective, min_reliability
+        ))
 
     # Expensive methods first: with a shared pool, a 10x-cost ILP unit
     # submitted last would serialize the tail of the run.
@@ -398,47 +608,77 @@ def run_sweep(
     local = [u for u in pending if u not in remote_set]
 
     if not remote:
-        for mi, ii, seed, key in local:
-            finish(mi, ii, key, *_unit_arrays(methods[mi], bases[ii], bounds, seed))
+        for unit in local:
+            run_local(unit)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(remote))) as pool:
+        # Group the remote units into columnar shards: one payload
+        # ships several instances' raw rows for one (method, ensemble)
+        # pair.
+        ensemble_of: list[int] = []
+        row_of: list[int] = []
+        for ei, ensemble in enumerate(ensembles):
+            ensemble_of.extend([ei] * len(ensemble))
+            row_of.extend(range(len(ensemble)))
+        shard_size = max(1, min(_SHARD_MAX, -(-len(remote) // (jobs * _SHARD_WAVES))))
+        shards: list[list[tuple]] = []
+        open_shards: dict[tuple[int, int], list[tuple]] = {}
+        for unit in remote:
+            mi, ii = unit[0], unit[1]
+            group = (mi, ensemble_of[ii])
+            shard = open_shards.get(group)
+            if shard is None or len(shard) >= shard_size:
+                shard = []
+                shards.append(shard)
+                open_shards[group] = shard
+            shard.append(unit)
+
+        with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
             futures = {}
-            for mi, ii, seed, key in remote:
+            for shard in shards:
+                mi = shard[0][0]
+                ensemble = ensembles[ensemble_of[shard[0][1]]]
                 fut = pool.submit(
-                    _solve_unit_payload,
+                    _solve_shard_payload,
                     methods[mi].name,
                     fingerprints[methods[mi].name],
-                    to_dict(bases[ii]),
+                    _shard_payload(ensemble, [row_of[u[1]] for u in shard]),
                     bounds,
-                    seed,
+                    [u[2] for u in shard],
+                    objective,
+                    min_reliability,
                 )
-                futures[fut] = (mi, ii, seed, key)
+                futures[fut] = shard
             # The parent works through its own (unpicklable) units while
             # the pool churns, then drains the futures.
-            for mi, ii, seed, key in local:
-                finish(mi, ii, key, *_unit_arrays(methods[mi], bases[ii], bounds, seed))
+            for unit in local:
+                run_local(unit)
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for fut in done:
-                    mi, ii, seed, key = futures[fut]
+                    shard = futures[fut]
                     try:
-                        unit_solved, unit_failure = fut.result()
+                        results = fut.result()
                     except UnknownMethodError:
-                        # Spawn-start workers re-import the registry and
-                        # may miss (or re-bind) methods registered at
-                        # runtime; redo the unit here rather than fail
-                        # the sweep or run the wrong code.
-                        finish(mi, ii, key,
-                               *_unit_arrays(methods[mi], bases[ii], bounds, seed))
+                        # Spawn-start workers re-import the registry
+                        # and may miss (or re-bind) methods registered
+                        # at runtime; redo the shard here rather than
+                        # fail the sweep or run the wrong code.
+                        for unit in shard:
+                            run_local(unit)
                         continue
-                    finish(mi, ii, key,
-                           np.asarray(unit_solved, dtype=bool),
-                           np.asarray(unit_failure, dtype=float))
+                    for (mi, ii, _unit_seed_, key), unit_result in zip(shard, results):
+                        unit_solved, unit_failure, unit_values = unit_result
+                        finish(mi, ii, key,
+                               np.asarray(unit_solved, dtype=bool),
+                               np.asarray(unit_failure, dtype=float),
+                               np.asarray(unit_values, dtype=float))
 
     return SweepResult(
         xs=xs_arr,
         method_names=[m.name for m in methods],
         solved=solved,
         failure=failure,
+        objective_values=objective_values,
+        objective=objective,
     )

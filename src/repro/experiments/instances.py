@@ -14,11 +14,13 @@ These two suites are also available declaratively as the registered
 scenarios ``"section8-hom"`` and ``"section8-het"``
 (:mod:`repro.scenarios.builtin`); the scenario layer's per-instance RNG
 mode reproduces the functions here **bit for bit** under the same seed
-— ``tests/test_scenarios.py`` pins that equivalence, so the two code
-paths cross-check each other.  Prefer the scenario form for anything
-beyond the paper's exact suites (new distributions, sweeps, paired
-regimes); the functions below remain the canonical Section 8 reference
-implementation.
+— its columnar :class:`repro.core.ensemble.Ensemble` rows materialize
+to exactly these objects (``tests/test_scenarios.py`` and
+``tests/test_ensemble.py`` pin the equivalence), so the two code paths
+cross-check each other.  Prefer the scenario form for anything beyond
+the paper's exact suites (new distributions, sweeps, paired regimes);
+the functions below remain the canonical Section 8 reference
+implementation, deliberately untouched by the columnar refactor.
 """
 
 from __future__ import annotations

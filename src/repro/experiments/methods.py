@@ -89,6 +89,8 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.algorithms import (
     brute_force_best,
     heuristic_best,
@@ -319,18 +321,39 @@ class Method:
 
     def check_problem(self, problem: Problem) -> None:
         """Raise a descriptive error if *problem* is out of scope."""
-        if problem.objective not in self.objectives:
+        self._check_objective(problem.objective)
+        self.check_platform(problem.platform)
+        self._check_size(problem.n_tasks)
+
+    def check_ensemble(self, ensemble, objective: str = "reliability") -> None:
+        """Raise a descriptive error if any ensemble row is out of scope.
+
+        The columnar twin of :meth:`check_problem`: objective and chain
+        length are checked once for the whole
+        :class:`~repro.core.ensemble.Ensemble`, and homogeneity is read
+        off the columns — a heterogeneous row only materializes its
+        :class:`Platform` to raise the usual descriptive error.
+        """
+        self._check_objective(objective)
+        self._check_size(ensemble.n_tasks)
+        if self.homogeneous_only and not ensemble.all_homogeneous:
+            offending = int(np.argmin(ensemble.homogeneous_rows()))
+            self.check_platform(ensemble.platform(offending))
+
+    def _check_objective(self, objective: str) -> None:
+        if objective not in self.objectives:
             raise ValueError(
                 f"method {self.name!r} does not support objective "
-                f"{problem.objective!r} (it supports: "
+                f"{objective!r} (it supports: "
                 f"{', '.join(self.objectives)}); see repro.solve.OBJECTIVES "
                 f"for objective-native methods"
             )
-        self.check_platform(problem.platform)
-        if self.max_tasks is not None and problem.n_tasks > self.max_tasks:
+
+    def _check_size(self, n_tasks: int) -> None:
+        if self.max_tasks is not None and n_tasks > self.max_tasks:
             raise ValueError(
                 f"method {self.name!r} handles chains of at most "
-                f"{self.max_tasks} tasks; got {problem.n_tasks}"
+                f"{self.max_tasks} tasks; got {n_tasks}"
             )
 
     def fingerprint(self) -> str:
@@ -572,6 +595,22 @@ def _dp_latency(problem):
     from repro.algorithms.pareto_dp import minimize_latency
 
     return minimize_latency(
+        problem.chain, problem.platform,
+        min_log_reliability=problem.min_log_reliability,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
+
+
+# Binary search over Section 7 heuristic solves — the heterogeneous
+# converse-objective gap-closer: period minimization where the Section 5
+# dp-period theory does not apply.  Heuristic (the probes are), any
+# platform; on homogeneous platforms "auto" still prefers the exact,
+# cheaper dp-period.
+@register_method("het-period-search", cost_hint=12.0, objectives=("period",))
+def _het_period_search(problem):
+    from repro.extensions.period_search import minimize_period_search
+
+    return minimize_period_search(
         problem.chain, problem.platform,
         min_log_reliability=problem.min_log_reliability,
         max_period=problem.max_period, max_latency=problem.max_latency,

@@ -15,6 +15,10 @@
   more difficult problems": a simulated-annealing mapper searching the
   space of complete mappings directly, usable on any platform and as a
   quality yardstick for Heur-L/Heur-P.
+* :mod:`repro.extensions.period_search` — period minimization on
+  heterogeneous platforms (where the Section 5.2 converse does not
+  apply) by binary search over Section 7 heuristic solves; registered
+  as the ``het-period-search`` method.
 """
 
 from repro.extensions.norouting import RoutingComparison, compare_routing
@@ -23,6 +27,7 @@ from repro.extensions.energy import (
     energy_aware_alloc_het,
 )
 from repro.extensions.annealing import AnnealingStats, anneal_mapping
+from repro.extensions.period_search import minimize_period_search
 
 __all__ = [
     "RoutingComparison",
@@ -31,4 +36,5 @@ __all__ = [
     "energy_aware_alloc_het",
     "AnnealingStats",
     "anneal_mapping",
+    "minimize_period_search",
 ]

@@ -5,9 +5,11 @@ into EXPERIMENTS.md bookkeeping, across tools.  This module defines a
 stable, versioned JSON round-trip for every user-facing model object,
 including :class:`~repro.scenarios.spec.ScenarioSpec` (so workload
 definitions ship as files through the same codec as the instances they
-generate) and :class:`~repro.solve.Problem` (so bounded solver
-instances ship to worker processes and derive stable cache keys;
-infinite bounds are encoded as the string ``"inf"``).
+generate), :class:`~repro.core.ensemble.Ensemble` (whole columnar
+instance ensembles as one payload), and :class:`~repro.solve.Problem`
+(so bounded solver instances ship to worker processes and derive
+stable cache keys; infinite bounds are encoded as the string
+``"inf"``).
 
 Format: each object carries a ``"type"`` tag and a flat payload; a
 top-level ``"repro_format"`` version guards future migrations.
@@ -28,6 +30,7 @@ import json
 from typing import Any
 
 from repro.core.chain import TaskChain
+from repro.core.ensemble import Ensemble
 from repro.core.interval import Interval
 from repro.core.mapping import Mapping
 from repro.core.platform import Platform
@@ -62,6 +65,8 @@ def to_dict(obj: "TaskChain | Platform | Mapping | Any") -> dict[str, Any]:
             "link_failure_rate": obj.link_failure_rate,
             "max_replication": obj.max_replication,
         }
+    elif isinstance(obj, Ensemble):
+        payload = obj.to_dict()
     elif isinstance(obj, Mapping):
         payload = {
             "type": "Mapping",
@@ -113,6 +118,17 @@ def from_dict(payload: dict[str, Any]) -> "TaskChain | Platform | Mapping | Any"
             for (a, b), procs in zip(payload["intervals"], payload["replicas"])
         ]
         return Mapping(chain, platform, assignment)
+    if kind == "Ensemble":
+        return Ensemble(
+            work=payload["work"],
+            output=payload["output"],
+            speeds=payload["speeds"],
+            failure_rates=payload["failure_rates"],
+            bandwidth=payload["bandwidth"],
+            link_failure_rate=payload["link_failure_rate"],
+            max_replication=payload["max_replication"],
+            hom_counterpart_speed=payload.get("hom_counterpart_speed"),
+        )
     if kind == "ScenarioSpec":
         from repro.scenarios.spec import spec_from_payload
 

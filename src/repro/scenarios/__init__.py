@@ -21,12 +21,16 @@ Layers
 * :mod:`repro.scenarios.builtin` — the Section 8 suites re-expressed as
   specs plus five new workload families;
 * :mod:`repro.scenarios.generate` — per-instance (legacy-bit-identical)
-  and batched (vectorized) ensemble generation.
+  and batched (vectorized) generation, both producing columnar
+  :class:`repro.core.ensemble.Ensemble` objects whose rows materialize
+  lazily (``generate_instances`` remains as a deprecated materializing
+  wrapper).
 
 Quickstart
 ----------
->>> from repro.scenarios import generate_instances, get_scenario
->>> chain, platform = generate_instances("section8-hom", n_instances=1)[0]
+>>> from repro.scenarios import generate_ensemble, get_scenario
+>>> ensemble = generate_ensemble("section8-hom", n_instances=1)
+>>> chain, platform = ensemble[0]
 >>> chain.n, platform.p
 (15, 10)
 >>> get_scenario("section8-hom").homogeneous
@@ -58,7 +62,13 @@ from repro.scenarios.registry import (
     get_scenario,
     register_scenario,
 )
-from repro.scenarios.generate import generate_instances, resolve_scenario
+from repro.scenarios.generate import (
+    generate_ensemble,
+    generate_ensembles,
+    generate_instances,
+    materialize_instances,
+    resolve_scenario,
+)
 from repro.scenarios import builtin as _builtin  # noqa: F401  (registers built-ins)
 
 __all__ = [
@@ -81,6 +91,9 @@ __all__ = [
     "UnknownScenarioError",
     "get_scenario",
     "register_scenario",
+    "generate_ensemble",
+    "generate_ensembles",
     "generate_instances",
+    "materialize_instances",
     "resolve_scenario",
 ]

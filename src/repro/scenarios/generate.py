@@ -1,46 +1,74 @@
-"""Ensemble generation from scenario specs.
+"""Ensemble generation from scenario specs — columnar, two RNG modes.
 
-Two RNG modes, one contract each:
+Generation now produces :class:`repro.core.ensemble.Ensemble` objects
+(struct-of-arrays, one row per instance) instead of per-instance
+``TaskChain``/``Platform`` objects; rows materialize lazily through
+:class:`~repro.core.ensemble.InstanceView`, so a sweep served from a
+warm cache never constructs a model object at all.  The two RNG modes
+keep their contracts exactly — only the storage changed:
 
 ``per-instance`` (default)
     ``spawn`` one child stream per instance off the master seed and
     draw each instance's fields from its own stream in the legacy
     order: work, then output, then speeds, then failure rates —
-    constant distributions consume nothing.  This reproduces
-    :func:`repro.experiments.instances.homogeneous_suite` /
+    constant distributions consume nothing.  The materialized rows
+    reproduce :func:`repro.experiments.instances.homogeneous_suite` /
     :func:`~repro.experiments.instances.heterogeneous_suite` **bit for
     bit** for the ``section8-*`` specs (checked by
-    ``tests/test_scenarios.py``), and extending ``n_instances`` never
-    changes earlier instances.
+    ``tests/test_scenarios.py`` and ``tests/test_ensemble.py``), and
+    extending ``n_instances`` never changes earlier instances.
 
 ``batched``
     ``spawn`` one stream per *field* (work, output, speed, rate — in
     that fixed order) and draw whole ``(n_instances, n_tasks)`` /
-    ``(n_instances, p)`` matrices in single numpy calls, then assemble
-    objects in one cheap pass.  Several times faster for
-    thousand-instance ensembles (``benchmarks/
-    bench_scenario_generation.py`` measures the gap); the per-instance
-    prefix property does not hold.
+    ``(n_instances, p)`` matrices in single numpy calls.  The matrices
+    *are* the ensemble storage — no per-instance assembly pass at all,
+    which is where the order-of-magnitude generation speedup of
+    ``benchmarks/bench_scenario_generation.py`` comes from; the
+    per-instance prefix property does not hold.
 
 Sweep-axis specs expand into their concrete variants first
 (:meth:`~repro.scenarios.spec.ScenarioSpec.variants`); each variant
 gets an independent seed derived via :func:`repro.util.rng.stable_seed`
 (a spec with no axes passes the caller's seed straight through, which
-is what keeps the Section 8 re-expressions seed-compatible).
+is what keeps the Section 8 re-expressions seed-compatible) and
+becomes one :class:`Ensemble` — variants differ in dimensions, so they
+cannot share one rectangular array block.
+
+Migration
+---------
+:func:`generate_instances` — the per-instance list API — remains as a
+thin compatibility wrapper over :meth:`Ensemble.materialize` with a
+one-release :class:`DeprecationWarning` (mirroring the PR 3 ``Method``
+migration); new code should call :func:`generate_ensemble` /
+:func:`generate_ensembles` and keep the columnar form.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.chain import TaskChain
-from repro.core.platform import Platform
+from repro.core.ensemble import Ensemble
 from repro.scenarios.distributions import Constant
 from repro.scenarios.registry import Scenario, get_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.util.rng import ensure_rng, spawn, stable_seed
 
-__all__ = ["generate_instances", "resolve_scenario"]
+__all__ = [
+    "generate_ensemble",
+    "generate_ensembles",
+    "generate_instances",
+    "resolve_scenario",
+]
+
+_GENERATE_INSTANCES_DEPRECATED = (
+    "generate_instances() materializes one TaskChain/Platform object per draw "
+    "and is deprecated; use generate_ensemble()/generate_ensembles() and keep "
+    "the columnar Ensemble (call .materialize() where per-instance objects "
+    "are genuinely needed)"
+)
 
 
 def resolve_scenario(
@@ -65,43 +93,83 @@ def resolve_scenario(
     )
 
 
-def generate_instances(
+def generate_ensembles(
     scenario: "str | ScenarioSpec | Scenario",
     n_instances: "int | None" = None,
     seed: int = 0,
-) -> list:
-    """Generate the ensemble described by *scenario*.
+) -> "list[Ensemble]":
+    """Generate the columnar ensembles described by *scenario*.
 
-    Returns ``(chain, platform)`` tuples for plain specs, or
-    :class:`~repro.experiments.instances.HetInstancePair` records for
-    paired specs (``hom_counterpart_speed`` set) — the shapes the sweep
-    harness and the het experiments already consume.  Sweep-axis specs
-    return the concatenation of all variants, ``n_instances`` each, in
-    variant order.
+    Returns one :class:`~repro.core.ensemble.Ensemble` per concrete
+    variant, in variant order (plain specs yield a single-element
+    list).  Paired specs produce paired ensembles: views expose the
+    heterogeneous side, ``ensemble.hom_platform`` /
+    ``ensemble.hom_counterpart()`` the Section 8.2 counterpart.
     """
     spec, _ = resolve_scenario(scenario)
     if n_instances is not None:
         spec = spec.with_(n_instances=n_instances)
     variants = spec.variants()
     if len(variants) == 1:
-        return _generate_concrete(variants[0], seed)
+        return [_generate_concrete(variants[0], seed)]
+    return [
+        _generate_concrete(sub, stable_seed("scenario-variant", seed, vi))
+        for vi, sub in enumerate(variants)
+    ]
+
+
+def generate_ensemble(
+    scenario: "str | ScenarioSpec | Scenario",
+    n_instances: "int | None" = None,
+    seed: int = 0,
+) -> Ensemble:
+    """Generate a single-variant scenario's :class:`Ensemble`.
+
+    Sweep-axis specs describe several differently-shaped ensembles and
+    raise — iterate :func:`generate_ensembles` for those.
+    """
+    ensembles = generate_ensembles(scenario, n_instances=n_instances, seed=seed)
+    if len(ensembles) != 1:
+        raise ValueError(
+            f"scenario expands to {len(ensembles)} variants; "
+            f"use generate_ensembles() for sweep-axis specs"
+        )
+    return ensembles[0]
+
+
+def generate_instances(
+    scenario: "str | ScenarioSpec | Scenario",
+    n_instances: "int | None" = None,
+    seed: int = 0,
+) -> list:
+    """Deprecated per-instance form of :func:`generate_ensembles`.
+
+    Materializes every row: ``(chain, platform)`` tuples for plain
+    specs, :class:`~repro.experiments.instances.HetInstancePair`
+    records for paired specs, variants concatenated in order — exactly
+    the pre-columnar shapes, bit for bit.  Emits a
+    :class:`DeprecationWarning`; scheduled for removal one release
+    after 1.3.
+    """
+    warnings.warn(_GENERATE_INSTANCES_DEPRECATED, DeprecationWarning, stacklevel=2)
+    return materialize_instances(scenario, n_instances=n_instances, seed=seed)
+
+
+def materialize_instances(
+    scenario: "str | ScenarioSpec | Scenario",
+    n_instances: "int | None" = None,
+    seed: int = 0,
+) -> list:
+    """Generate and materialize every instance (no deprecation warning).
+
+    The internal workhorse behind :func:`generate_instances` — kept
+    callable for code that genuinely wants objects (tiny ensembles,
+    tests) without the migration nag.
+    """
     out: list = []
-    for vi, sub in enumerate(variants):
-        out.extend(_generate_concrete(sub, stable_seed("scenario-variant", seed, vi)))
+    for ensemble in generate_ensembles(scenario, n_instances=n_instances, seed=seed):
+        out.extend(ensemble.materialize())
     return out
-
-
-def _hom_counterpart(spec: ScenarioSpec) -> "Platform | None":
-    if not spec.paired:
-        return None
-    return Platform.homogeneous_platform(
-        spec.p,
-        speed=float(spec.hom_counterpart_speed),
-        failure_rate=_constant_rate(spec),
-        bandwidth=spec.bandwidth,
-        link_failure_rate=spec.link_failure_rate,
-        max_replication=spec.K,
-    )
 
 
 def _constant_rate(spec: ScenarioSpec) -> float:
@@ -121,109 +189,91 @@ def _constant_rate(spec: ScenarioSpec) -> float:
     return float(spec.proc_failure.value)
 
 
-def _shared_platform(spec: ScenarioSpec) -> "Platform | None":
-    """One Platform for the whole ensemble when nothing platform-side is
-    stochastic (matches the legacy suites, which build it once)."""
+def _shared_platform_rows(spec: ScenarioSpec) -> "tuple[np.ndarray, np.ndarray] | None":
+    """One ``(1, p)`` speed/rate row pair when nothing platform-side is
+    stochastic (matches the legacy suites, which built one Platform)."""
     if spec.speed.stochastic or spec.proc_failure.stochastic:
         return None
-    speeds = spec.speed.draw(np.random.default_rng(0), spec.p)
-    rates = spec.proc_failure.draw(np.random.default_rng(0), spec.p)
-    return Platform(
-        speeds=speeds,
-        failure_rates=rates,
-        bandwidth=spec.bandwidth,
-        link_failure_rate=spec.link_failure_rate,
-        max_replication=spec.K,
-    )
+    speeds = np.asarray(spec.speed.draw(np.random.default_rng(0), spec.p), dtype=float)
+    rates = np.asarray(spec.proc_failure.draw(np.random.default_rng(0), spec.p), dtype=float)
+    return speeds.reshape(1, -1), rates.reshape(1, -1)
 
 
-def _pair_type():
-    # Lazy: repro.experiments imports the harness (which imports
-    # repro.io, which lazily imports this package) — a module-level
-    # import here would close an import cycle during package init.
-    from repro.experiments.instances import HetInstancePair
-
-    return HetInstancePair
-
-
-def _generate_concrete(spec: ScenarioSpec, seed: int) -> list:
+def _generate_concrete(spec: ScenarioSpec, seed: int) -> Ensemble:
     """Generate one concrete (scalar-axis) variant's ensemble."""
+    if spec.paired:
+        _constant_rate(spec)  # paired specs need a single honest rate
     if spec.rng_mode == "per-instance":
         return _generate_per_instance(spec, seed)
     return _generate_batched(spec, seed)
 
 
-def _generate_per_instance(spec: ScenarioSpec, seed: int) -> list:
+def _generate_per_instance(spec: ScenarioSpec, seed: int) -> Ensemble:
     master = ensure_rng(seed)
     streams = spawn(master, spec.n_instances)
-    n, p = spec.n_tasks, spec.p
-    shared = _shared_platform(spec)
-    hom = _hom_counterpart(spec)
-    pair_cls = _pair_type() if spec.paired else None
+    m, n, p = spec.n_instances, spec.n_tasks, spec.p
 
-    out: list = []
-    for rng in streams:
+    work = np.empty((m, n), dtype=float)
+    output = np.empty((m, n), dtype=float)
+    shared = _shared_platform_rows(spec)
+    if shared is None:
+        speeds = np.empty((m, p), dtype=float)
+        rates = np.empty((m, p), dtype=float)
+    else:
+        speeds, rates = shared
+
+    for i, rng in enumerate(streams):
         # Legacy draw order: work, output (chain), then platform fields.
-        work = spec.work.draw(rng, n)
+        work[i] = spec.work.draw(rng, n)
         if hasattr(spec.output, "draw_given"):
-            output = spec.output.draw_given(rng, work)
+            output[i] = spec.output.draw_given(rng, work[i])
         else:
-            output = spec.output.draw(rng, n)
-        output[-1] = 0.0
-        chain = TaskChain(work=work, output=output)
-        if shared is not None:
-            platform = shared
-        else:
-            speeds = spec.speed.draw(rng, p)
-            rates = spec.proc_failure.draw(rng, p)
-            platform = Platform(
-                speeds=speeds,
-                failure_rates=rates,
-                bandwidth=spec.bandwidth,
-                link_failure_rate=spec.link_failure_rate,
-                max_replication=spec.K,
-            )
-        if pair_cls is not None:
-            out.append(pair_cls(chain, platform, hom))
-        else:
-            out.append((chain, platform))
-    return out
+            output[i] = spec.output.draw(rng, n)
+        if shared is None:
+            speeds[i] = spec.speed.draw(rng, p)
+            rates[i] = spec.proc_failure.draw(rng, p)
+    output[:, -1] = 0.0
+
+    return Ensemble(
+        work=work,
+        output=output,
+        speeds=speeds,
+        failure_rates=rates,
+        bandwidth=spec.bandwidth,
+        link_failure_rate=spec.link_failure_rate,
+        max_replication=spec.K,
+        hom_counterpart_speed=spec.hom_counterpart_speed,
+    )
 
 
-def _generate_batched(spec: ScenarioSpec, seed: int) -> list:
+def _generate_batched(spec: ScenarioSpec, seed: int) -> Ensemble:
     master = ensure_rng(seed)
     # One stream per field, spawned in fixed order — n_instances does
     # not influence the spawn, only how much each stream is consumed.
     work_rng, out_rng, speed_rng, rate_rng = spawn(master, 4)
     m, n, p = spec.n_instances, spec.n_tasks, spec.p
 
-    work = spec.work.draw(work_rng, (m, n))
+    work = np.asarray(spec.work.draw(work_rng, (m, n)), dtype=float)
     if hasattr(spec.output, "draw_given"):
-        output = spec.output.draw_given(out_rng, work)
+        output = np.asarray(spec.output.draw_given(out_rng, work), dtype=float)
     else:
-        output = spec.output.draw(out_rng, (m, n))
+        output = np.asarray(spec.output.draw(out_rng, (m, n)), dtype=float)
     output[:, -1] = 0.0
 
-    shared = _shared_platform(spec)
+    shared = _shared_platform_rows(spec)
     if shared is None:
-        speeds = spec.speed.draw(speed_rng, (m, p))
-        rates = spec.proc_failure.draw(rate_rng, (m, p))
-        platforms = [
-            Platform(
-                speeds=s,
-                failure_rates=r,
-                bandwidth=spec.bandwidth,
-                link_failure_rate=spec.link_failure_rate,
-                max_replication=spec.K,
-            )
-            for s, r in zip(speeds, rates)
-        ]
+        speeds = np.asarray(spec.speed.draw(speed_rng, (m, p)), dtype=float)
+        rates = np.asarray(spec.proc_failure.draw(rate_rng, (m, p)), dtype=float)
     else:
-        platforms = [shared] * m
+        speeds, rates = shared
 
-    chains = [TaskChain(work=w, output=o) for w, o in zip(work, output)]
-    if spec.paired:
-        hom = _hom_counterpart(spec)
-        pair_cls = _pair_type()
-        return [pair_cls(c, plat, hom) for c, plat in zip(chains, platforms)]
-    return list(zip(chains, platforms))
+    return Ensemble(
+        work=work,
+        output=output,
+        speeds=speeds,
+        failure_rates=rates,
+        bandwidth=spec.bandwidth,
+        link_failure_rate=spec.link_failure_rate,
+        max_replication=spec.K,
+        hom_counterpart_speed=spec.hom_counterpart_speed,
+    )

@@ -73,10 +73,22 @@ class Scenario:
         return self.spec.paired
 
     def generate(self, n_instances: "int | None" = None, seed: int = 0) -> list:
-        """Generate the ensemble (see :func:`repro.scenarios.generate_instances`)."""
-        from repro.scenarios.generate import generate_instances
+        """Generate and materialize the ensemble's instances.
 
-        return generate_instances(self.spec, n_instances=n_instances, seed=seed)
+        Convenience over :func:`repro.scenarios.generate_ensembles`;
+        prefer :meth:`generate_ensembles` to keep the columnar form.
+        """
+        from repro.scenarios.generate import materialize_instances
+
+        return materialize_instances(self.spec, n_instances=n_instances, seed=seed)
+
+    def generate_ensembles(
+        self, n_instances: "int | None" = None, seed: int = 0
+    ) -> list:
+        """Generate the columnar ensembles (one per concrete variant)."""
+        from repro.scenarios.generate import generate_ensembles
+
+        return generate_ensembles(self.spec, n_instances=n_instances, seed=seed)
 
     def describe(self) -> dict[str, Any]:
         """Flat summary record for CLI listings and manifests."""

@@ -34,8 +34,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.ensemble import Ensemble, ensembles_from_instances
 from repro.solve.facade import solve
-from repro.solve.problem import Problem
 
 __all__ = ["BoundsGrid", "derive_bounds_grid"]
 
@@ -127,8 +127,9 @@ def derive_bounds_grid(
     Parameters
     ----------
     instances:
-        ``(chain, platform)`` pairs — or a declarative workload (a
-        registered scenario name, a
+        A columnar :class:`~repro.core.ensemble.Ensemble` (or list of
+        them), ``(chain, platform)`` pairs — or a declarative workload
+        (a registered scenario name, a
         :class:`~repro.scenarios.spec.ScenarioSpec`, or a
         :class:`~repro.scenarios.registry.Scenario`), generated here
         with *seed* / *n_instances*.  Paired (Section 8.2-shaped)
@@ -164,23 +165,26 @@ def derive_bounds_grid(
     if not margin >= 1.0:
         raise ValueError(f"margin must be >= 1 (headroom), got {margin}")
 
-    if not isinstance(instances, (list, tuple)):
-        from repro.scenarios import generate_instances, resolve_scenario
+    if isinstance(instances, (list, tuple)) or isinstance(instances, Ensemble):
+        ensembles = ensembles_from_instances(instances)
+    else:
+        from repro.scenarios import generate_ensembles, resolve_scenario
 
         spec, _ = resolve_scenario(instances)
         if n_instances is not None:
             spec = spec.with_(n_instances=n_instances)
-        generated = generate_instances(spec, seed=seed)
-        if spec.paired:
-            generated = [(pair.chain, pair.het_platform) for pair in generated]
-        instances = generated
-    if not instances:
+        # Paired ensembles contribute their heterogeneous side — that
+        # is what the views expose, matching run_sweep.
+        ensembles = generate_ensembles(spec, seed=seed)
+    n_total = sum(len(e) for e in ensembles)
+    if not n_total:
         raise ValueError("need at least one instance to derive a grid from")
 
     # Probe solves go through the shared result cache when one is
     # configured (ROADMAP "grid caching"): the per-instance scalars are
-    # stored under probe keys, so a warm --grid auto run re-derives the
-    # grid without a single solve.
+    # stored under probe keys derived from ensemble row digests, so a
+    # warm --grid auto run re-derives the grid without a single solve —
+    # or a single materialized object.
     from repro.experiments.cache import resolve_cache
     from repro.experiments.methods import METHODS
 
@@ -188,11 +192,10 @@ def derive_bounds_grid(
     registered = METHODS.get(method)
     fingerprint = registered.fingerprint() if registered is not None else None
 
-    def probe(chain, platform) -> "tuple[bool, float, float]":
-        problem = Problem(chain, platform)
+    def probe(view) -> "tuple[bool, float, float]":
         key = None
         if store is not None and registered is not None:
-            key = store.probe_key(method, problem, fingerprint)
+            key = store.probe_key_for(method, view.row_hash, fingerprint)
             record = store.get_record(key)
             if record is not None:
                 try:
@@ -205,7 +208,7 @@ def derive_bounds_grid(
                     # Malformed probe record (same recovery contract as
                     # ResultCache.get): recompute and overwrite below.
                     pass
-        result = solve(problem, method=method)
+        result = solve(view.problem(), method=method)
         if result.feasible:
             ev = result.evaluation
             feasible, period, latency = (
@@ -230,18 +233,22 @@ def derive_bounds_grid(
 
     hi_periods, hi_latencies = [], []
     lo_periods, lo_latencies = [], []
-    for chain, platform in instances:
-        feasible, period, latency = probe(chain, platform)
-        if not feasible:  # pragma: no cover - unbounded heuristics map
-            continue
-        hi_periods.append(period)
-        hi_latencies.append(latency)
-        # Analytic lower bounds: some interval holds the heaviest task
-        # (period), and every task executes somewhere along the chain
-        # (latency) — no mapping beats the fastest processor on either.
-        s_max = float(np.max(platform.speeds))
-        lo_periods.append(float(np.max(chain.work)) / s_max)
-        lo_latencies.append(float(np.sum(chain.work)) / s_max)
+    for ensemble in ensembles:
+        # Analytic lower bounds, vectorized over the ensemble columns:
+        # some interval holds the heaviest task (period), and every
+        # task executes somewhere along the chain (latency) — no
+        # mapping beats the fastest processor on either.  No objects.
+        s_max = ensemble.speeds.max(axis=1)
+        ens_lo_periods = ensemble.work.max(axis=1) / s_max
+        ens_lo_latencies = ensemble.work.sum(axis=1) / s_max
+        for view, lo_p, lo_l in zip(ensemble, ens_lo_periods, ens_lo_latencies):
+            feasible, period, latency = probe(view)
+            if not feasible:  # pragma: no cover - unbounded heuristics map
+                continue
+            hi_periods.append(period)
+            hi_latencies.append(latency)
+            lo_periods.append(float(lo_p))
+            lo_latencies.append(float(lo_l))
     if not hi_periods:  # pragma: no cover - defensive
         raise ValueError(
             f"method {method!r} solved no instance even unbounded; "
@@ -260,6 +267,6 @@ def derive_bounds_grid(
         quantiles=quantiles,
         max_period=float(max(hi_periods)) * margin,
         max_latency=float(max(hi_latencies)) * margin,
-        n_instances=len(instances),
+        n_instances=n_total,
         method=method,
     )

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.experiments import get_method, run_sweep
-from repro.scenarios import generate_instances, get_scenario
+from repro.scenarios import materialize_instances, get_scenario
 from repro.solve import derive_bounds_grid
 
 
@@ -27,7 +27,7 @@ class TestDerivation:
     def test_grid_spans_the_transition(self, tiny_hom_grid):
         """The low end sits at the analytic lower bound (hard), the
         high end at the unbounded-solve max (certainly feasible)."""
-        instances = generate_instances(
+        instances = materialize_instances(
             get_scenario("section8-hom").spec.with_(n_instances=6)
         )
         lo = min(float(np.max(c.work)) / float(np.max(p.speeds)) for c, p in instances)
@@ -40,7 +40,7 @@ class TestDerivation:
         assert a == b
 
     def test_explicit_instances_and_quantiles(self):
-        instances = generate_instances(
+        instances = materialize_instances(
             get_scenario("section8-hom").spec.with_(n_instances=4, n_tasks=6, p=4)
         )
         g = derive_bounds_grid(instances, quantiles=(0.0, 0.5, 1.0))
@@ -86,7 +86,7 @@ class TestPaperStyleCurves:
         grid produces a non-decreasing solution-count curve ending at
         the full ensemble."""
         spec = get_scenario("section8-hom").spec.with_(n_instances=6)
-        instances = generate_instances(spec)
+        instances = materialize_instances(spec)
         grid = derive_bounds_grid(instances, n_points=5)
         sweep = run_sweep(
             instances,

@@ -139,9 +139,14 @@ class TestFacadeRouting:
         assert auto_method_name(Problem(chain, hom, objective="energy")) == "energy-greedy"
         assert auto_method_name(Problem(chain, het, objective="energy")) == "energy-greedy"
 
-    def test_auto_unsupported_combination_raises(self, chain, het):
-        with pytest.raises(UnknownMethodError, match="heterogeneous"):
+    def test_auto_het_period_resolves_to_search(self, chain, het):
+        # Used to raise UnknownMethodError: period minimization on
+        # heterogeneous platforms had no registered method until the
+        # het-period-search binary search closed the gap.
+        assert (
             auto_method_name(Problem(chain, het, objective="period"))
+            == "het-period-search"
+        )
 
     def test_objective_mismatch_is_value_error(self, chain, hom):
         problem = Problem(chain, hom, objective="period")
@@ -275,7 +280,9 @@ class TestPlannerObjectiveGating:
     def test_objective_skip_reasons_recorded(self):
         plan = plan_methods("section8-hom", objective="period")
         assert plan.objective == "period"
-        assert plan.selected == ("dp-period",)
+        # Expensive-first order: the heuristic search next to the
+        # exact Section 5.2 converse, both period-native.
+        assert plan.selected == ("het-period-search", "dp-period")
         reasons = {s.method: s.reason for s in plan.skipped}
         assert "objective 'period' unsupported" in reasons["pareto-dp"]
         assert "objective 'period' unsupported" in reasons["heur-l"]
@@ -474,5 +481,62 @@ class TestCliObjectives:
         assert code == 0
         payload = json.loads(manifest.read_text())
         assert payload["objective"] == "period"
-        assert payload["plan"]["selected"] == ["dp-period"]
+        assert payload["plan"]["selected"] == ["het-period-search", "dp-period"]
         assert payload["plan"]["objective"] == "period"
+
+
+class TestHetPeriodSearch:
+    """The heterogeneous converse-objective gap-closer (ISSUE 5)."""
+
+    @pytest.fixture
+    def het_instance(self):
+        chain = TaskChain([6.0, 4.0, 5.0], [1.0, 2.0, 0.0])
+        platform = Platform(
+            speeds=[2.0, 1.0, 1.5], failure_rates=[1e-4, 1e-5, 1e-4],
+            link_failure_rate=1e-5, max_replication=2,
+        )
+        return chain, platform
+
+    def test_matches_oracle_on_tiny_instance(self, het_instance):
+        chain, platform = het_instance
+        problem = Problem(chain, platform, objective="period", min_reliability=0.5)
+        search = solve(problem)  # auto -> het-period-search
+        oracle = solve(problem, method="brute-force")
+        assert search.method == "het-period-search" and search.feasible
+        assert search.objective_value("period") >= (
+            oracle.objective_value("period") - 1e-9
+        )
+        ev = search.evaluation
+        assert ev.reliability >= 0.5
+
+    def test_honors_latency_bound_and_period_cap(self, het_instance):
+        chain, platform = het_instance
+        bounded = solve(Problem(
+            chain, platform, objective="period", max_latency=20.0,
+        ))
+        assert bounded.feasible
+        assert bounded.evaluation.worst_case_latency <= 20.0
+        # A period cap below the analytic floor is infeasible.
+        floor = float(np.max(chain.work)) / float(np.max(platform.speeds))
+        capped = solve(Problem(
+            chain, platform, objective="period", max_period=floor / 2,
+        ))
+        assert not capped.feasible
+
+    def test_planner_selects_it_for_het_scenarios(self):
+        plan = plan_methods("high-heterogeneity", objective="period")
+        assert plan.selected == ("het-period-search",)
+        reasons = {s.method: s.reason for s in plan.skipped}
+        assert "homogeneous" in reasons["dp-period"]
+
+    def test_period_sweep_on_het_scenario(self):
+        sweep = run_sweep(
+            "high-heterogeneity",
+            [get_method("het-period-search")],
+            [(np.inf, np.inf)],
+            n_instances=3,
+            objective="period",
+        )
+        assert int(sweep.counts("het-period-search")[0]) == 3
+        q = sweep.objective_quantiles("het-period-search")
+        assert np.all(np.isfinite(q)) and np.all(q > 0)

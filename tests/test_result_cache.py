@@ -209,3 +209,60 @@ class TestResolveCache:
     def test_passthrough_and_path(self, cache, tmp_path):
         assert resolve_cache(cache) is cache
         assert resolve_cache(tmp_path).root == tmp_path
+
+
+class TestLegacyMigration:
+    """Format-3 (pre-columnar) entries are found and migrated in place."""
+
+    def _plant_legacy_entry(self, cache, chain, platform, failure):
+        from repro.experiments.cache import (
+            LEGACY_CACHE_FORMAT,
+            LEGACY_CACHE_VERSION,
+        )
+        from repro.solve.problem import encode_bound
+
+        method = get_method("heur-l")
+        legacy_key = content_hash(
+            {
+                "repro_cache": LEGACY_CACHE_FORMAT,
+                "repro_version": LEGACY_CACHE_VERSION,
+                "method": "heur-l",
+                "fingerprint": method.fingerprint(),
+                "seed": None,
+            },
+            Problem(chain, platform).content_hash(),
+            [[encode_bound(P), encode_bound(L)] for P, L in BOUNDS],
+        )
+        path = cache._path(legacy_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({
+            "repro_cache": LEGACY_CACHE_FORMAT, "method": "heur-l",
+            "n_points": 2, "solved": [True, False], "failure": failure,
+        }))
+        return legacy_key
+
+    def test_legacy_entry_replayed_and_migrated(self, cache, instance):
+        chain, platform = instance
+        # Distinctive planted arrays prove a replay, not a fresh solve.
+        self._plant_legacy_entry(cache, chain, platform, [0.125, 1.0])
+        sweep = run_sweep([instance], [get_method("heur-l")], BOUNDS, cache=cache)
+        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
+        assert np.array_equal(sweep.failure[0, :, 0], [0.125, 1.0])
+        # Reliability objective values reconstruct exactly as 1 - failure.
+        assert np.array_equal(sweep.objective_values[0, :, 0], [0.875, 0.0])
+
+        # The migrated entry now serves format-4 lookups directly.
+        warm = ResultCache(cache.root)
+        again = run_sweep([instance], [get_method("heur-l")], BOUNDS, cache=warm)
+        assert warm.stats() == {"hits": 1, "misses": 0, "puts": 0}
+        assert np.array_equal(again.failure, sweep.failure)
+
+    def test_legacy_path_skips_converse_objectives(self, cache, instance):
+        """Non-reliability units cannot reconstruct objective values
+        from a legacy entry, so they recompute."""
+        chain, platform = instance
+        assert cache.get_legacy_unit(
+            "heur-l",
+            {"objective": "period"},
+            BOUNDS,
+        ) is None

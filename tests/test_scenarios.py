@@ -24,7 +24,7 @@ from repro.scenarios import (
     Uniform,
     UnknownScenarioError,
     distribution_from_value,
-    generate_instances,
+    materialize_instances,
     get_scenario,
     load_spec,
     register_scenario,
@@ -248,7 +248,7 @@ class TestSection8BitIdentity:
     @pytest.mark.parametrize("seed", [0, 13])
     def test_homogeneous_suite(self, seed):
         legacy = homogeneous_suite(n_instances=6, seed=seed)
-        scenario = generate_instances("section8-hom", n_instances=6, seed=seed)
+        scenario = materialize_instances("section8-hom", n_instances=6, seed=seed)
         assert len(legacy) == len(scenario)
         for (lc, lp), (sc, sp) in zip(legacy, scenario):
             assert np.array_equal(lc.work, sc.work)
@@ -258,33 +258,33 @@ class TestSection8BitIdentity:
     @pytest.mark.parametrize("seed", [0, 21])
     def test_heterogeneous_suite(self, seed):
         legacy = heterogeneous_suite(n_instances=5, seed=seed)
-        scenario = generate_instances("section8-het", n_instances=5, seed=seed)
+        scenario = materialize_instances("section8-het", n_instances=5, seed=seed)
         for lpair, spair in zip(legacy, scenario):
             assert lpair.chain == spair.chain
             assert lpair.het_platform == spair.het_platform
             assert lpair.hom_platform == spair.hom_platform
 
     def test_prefix_stability(self):
-        small = generate_instances("section8-hom", n_instances=3, seed=4)
-        big = generate_instances("section8-hom", n_instances=6, seed=4)
+        small = materialize_instances("section8-hom", n_instances=3, seed=4)
+        big = materialize_instances("section8-hom", n_instances=6, seed=4)
         assert all(cs == cb for (cs, _), (cb, _) in zip(small, big))
 
 
 class TestGeneration:
     def test_reproducible(self):
-        a = generate_instances("high-heterogeneity", n_instances=4, seed=9)
-        b = generate_instances("high-heterogeneity", n_instances=4, seed=9)
+        a = materialize_instances("high-heterogeneity", n_instances=4, seed=9)
+        b = materialize_instances("high-heterogeneity", n_instances=4, seed=9)
         assert all(ca == cb and pa == pb for (ca, pa), (cb, pb) in zip(a, b))
 
     def test_variant_expansion_counts(self):
-        ensemble = generate_instances("scaling-stress", n_instances=2, seed=0)
+        ensemble = materialize_instances("scaling-stress", n_instances=2, seed=0)
         spec = get_scenario("scaling-stress").spec
         assert len(ensemble) == 2 * len(spec.variants())
         sizes = {(c.n, p.p) for c, p in ensemble}
         assert sizes == {(n, p) for n in (20, 40, 80) for p in (16, 32)}
 
     def test_batched_respects_distributions(self):
-        ensemble = generate_instances("long-chain", n_instances=5, seed=2)
+        ensemble = materialize_instances("long-chain", n_instances=5, seed=2)
         for chain, platform in ensemble:
             assert chain.n == 120
             body = chain.work
@@ -294,13 +294,13 @@ class TestGeneration:
             assert platform.homogeneous
 
     def test_hot_spare_platforms(self):
-        for _, platform in generate_instances("hot-spare", n_instances=3, seed=0):
+        for _, platform in materialize_instances("hot-spare", n_instances=3, seed=0):
             rates = platform.failure_rates
             assert np.all(rates[:-3] == 1e-5) and np.all(rates[-3:] == 1e-9)
             assert not platform.homogeneous
 
     def test_unreliable_links_correlation(self):
-        chains = [c for c, _ in generate_instances("unreliable-links", n_instances=20, seed=1)]
+        chains = [c for c, _ in materialize_instances("unreliable-links", n_instances=20, seed=1)]
         work = np.concatenate([c.work[:-1] for c in chains])
         output = np.concatenate([c.output[:-1] for c in chains])
         assert np.corrcoef(work, output)[0, 1] > 0.4
@@ -323,7 +323,7 @@ class TestGeneration:
             n_instances=1,
         )
         with pytest.raises(ValueError, match="constant proc_failure"):
-            generate_instances(spec)
+            materialize_instances(spec)
 
     def test_resolve_rejects_junk(self):
         from repro.scenarios import resolve_scenario
@@ -368,7 +368,7 @@ class TestSweepIntegration:
 
         spec = self.tiny_spec()
         cache = ResultCache(tmp_path)
-        chain, platform = generate_instances(spec, seed=5)[0]
+        chain, platform = materialize_instances(spec, seed=5)[0]
         unit = [Problem(chain, platform, 150.0, 750.0)]
         plain = cache.unit_key("heur-l", unit)
         scoped = cache.unit_key("heur-l", unit, scenario=scenario_hash(spec))
@@ -445,3 +445,27 @@ class TestScenarioObject:
         assert d["name"] == "section8-hom" and d["homogeneous"] is True
         assert d["variants"] == 1 and "section8" in d["tags"]
         assert dataclasses.is_dataclass(scenario)
+
+
+class TestDeprecatedGenerateInstances:
+    """generate_instances is a one-release materializing shim."""
+
+    def test_warns_and_matches_materialize(self):
+        from repro.scenarios import generate_instances
+
+        with pytest.warns(DeprecationWarning, match="generate_ensemble"):
+            legacy = generate_instances("section8-hom", n_instances=3, seed=8)
+        current = materialize_instances("section8-hom", n_instances=3, seed=8)
+        assert len(legacy) == len(current) == 3
+        for (lc, lp), (cc, cp) in zip(legacy, current):
+            assert lc == cc and lp == cp
+
+    def test_scenario_generate_is_quiet(self):
+        # The registry convenience routes through the ensemble path
+        # without the migration nag.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            pairs = get_scenario("section8-het").generate(n_instances=2, seed=1)
+        assert len(pairs) == 2 and pairs[0].hom_platform == pairs[1].hom_platform
