@@ -1,0 +1,108 @@
+"""Throughput of the batched solving kernels vs the per-row loop.
+
+The batched layer (:mod:`repro.algorithms.batch`) evaluates a Section 7
+heuristic across every row of a columnar ensemble in one kernel call —
+shared interval enumeration, batched log-reliability arithmetic,
+vectorized feasibility masks — where the per-row path runs one
+object-level ``heuristic_best`` solve per instance.  This bench runs
+the same 1000-instance cold sweep through both paths into fresh caches
+and checks the contract that makes the speedup safe to take: the two
+runs are **bit-identical** (solved flags, failure probabilities,
+objective values, and cache entries under the same keys).
+
+Metrics:
+
+* ``batch_speedup`` — looped seconds over batched seconds (the
+  machine-portable headline; the acceptance floor is 5x);
+* ``batched_units_per_s`` / ``looped_units_per_s`` — informational
+  absolute throughput.
+
+Dual entry points: a pytest-benchmark test and a ``--json`` script mode
+for the benchmark-regression gate::
+
+    PYTHONPATH=src python benchmarks/bench_batch_solve.py --json out.json
+"""
+
+import tempfile
+import time
+
+import numpy as np
+
+from repro.experiments import ResultCache, get_method, run_sweep
+from repro.scenarios import generate_ensemble
+
+try:
+    from benchmarks.conftest import emit
+except ImportError:  # script mode: no pytest plumbing to bypass
+    def emit(*parts):
+        print(" ".join(str(p) for p in parts))
+
+N_INSTANCES = 1000
+BOUNDS = [(150.0, 750.0), (250.0, 750.0), (400.0, 750.0)]
+METHOD = "heur-l"
+
+#: Regression-gate metric names (see run_batch_solve_bench).
+BENCH_NAME = "bench_batch_solve"
+
+
+def run_batch_solve_bench() -> dict:
+    """Cold-sweep the ensemble looped and batched; return gate metrics."""
+    ensemble = generate_ensemble("section8-hom", n_instances=N_INSTANCES, seed=17)
+    methods = [get_method(METHOD)]
+    n_units = N_INSTANCES
+
+    with tempfile.TemporaryDirectory() as looped_dir, \
+            tempfile.TemporaryDirectory() as batched_dir:
+        looped_cache = ResultCache(looped_dir)
+        t0 = time.perf_counter()
+        looped = run_sweep(ensemble, methods, BOUNDS, cache=looped_cache, batch=False)
+        looped_seconds = time.perf_counter() - t0
+        assert looped.batch_units == 0 and looped_cache.puts == n_units
+
+        batched_cache = ResultCache(batched_dir)
+        t0 = time.perf_counter()
+        batched = run_sweep(ensemble, methods, BOUNDS, cache=batched_cache)
+        batched_seconds = time.perf_counter() - t0
+        assert batched.batch_units == n_units and batched_cache.puts == n_units
+
+        # The contract that makes the speedup safe to take: counts,
+        # failures, objective values, and cache keys all bit-identical.
+        assert np.array_equal(looped.solved, batched.solved)
+        assert np.array_equal(looped.failure, batched.failure)
+        assert np.array_equal(looped.objective_values, batched.objective_values)
+        looped_keys = {p.name for p in looped_cache.root.rglob("*.json")}
+        batched_keys = {p.name for p in batched_cache.root.rglob("*.json")}
+        assert looped_keys == batched_keys and len(looped_keys) == n_units
+
+    emit()
+    emit(f"batched solving, {N_INSTANCES} instances x {METHOD} "
+         f"x {len(BOUNDS)} points (section8-hom, cold caches)")
+    emit(f"looped:  {looped_seconds:8.3f}s  ({n_units / looped_seconds:8.1f} units/s)")
+    emit(f"batched: {batched_seconds:8.3f}s  ({n_units / batched_seconds:8.1f} units/s)")
+    emit(f"batch speedup: {looped_seconds / batched_seconds:.1f}x")
+
+    return {
+        "batch_speedup": looped_seconds / batched_seconds,
+        "batched_units_per_s": n_units / batched_seconds,
+        "looped_units_per_s": n_units / looped_seconds,
+    }
+
+
+def test_batch_solve_throughput(benchmark):
+    metrics = run_batch_solve_bench()
+    # The acceptance floor: one kernel call across 1000 rows must beat
+    # 1000 object-level solves by at least 5x.
+    assert metrics["batch_speedup"] > 5.0
+
+    ensemble = generate_ensemble("section8-hom", n_instances=200, seed=17)
+    methods = [get_method(METHOD)]
+    benchmark(lambda: run_sweep(ensemble, methods, BOUNDS))
+
+
+if __name__ == "__main__":
+    try:
+        from benchmarks.jsonbench import main
+    except ImportError:  # plain `python benchmarks/bench_*.py` execution
+        from jsonbench import main
+
+    main(BENCH_NAME, run_batch_solve_bench)

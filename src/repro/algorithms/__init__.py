@@ -19,6 +19,12 @@
   :func:`minimize_period` (binary search honoring a latency bound) and
   :func:`minimize_latency` (Pareto-frontier scan under a reliability
   floor).
+* Batched kernels (:mod:`repro.algorithms.batch`) —
+  :func:`batch_heuristic_best` evaluates a Section 7 heuristic over
+  every row of a columnar ensemble in one call, bit-identical to the
+  per-instance loop; :func:`heuristic_solve_batch` packages it as the
+  registry's ``solve_batch`` capability, and :class:`BatchUnsupported`
+  is the fallback signal for shapes the kernels do not cover.
 """
 
 from repro.algorithms.result import SolveResult
@@ -29,6 +35,11 @@ from repro.algorithms.dp_period import (
     minimize_period,
 )
 from repro.algorithms.allocation import algo_alloc, algo_alloc_het
+from repro.algorithms.batch import (
+    BatchUnsupported,
+    batch_heuristic_best,
+    heuristic_solve_batch,
+)
 from repro.algorithms.heuristics import (
     heur_l_intervals,
     heur_p_intervals,
@@ -55,6 +66,9 @@ __all__ = [
     "minimize_latency",
     "algo_alloc",
     "algo_alloc_het",
+    "BatchUnsupported",
+    "batch_heuristic_best",
+    "heuristic_solve_batch",
     "heur_l_intervals",
     "heur_p_intervals",
     "heuristic_best",

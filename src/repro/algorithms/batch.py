@@ -1,0 +1,426 @@
+"""Batched solving kernels over :class:`~repro.core.ensemble.Ensemble` columns.
+
+PR 5 made instance *storage* columnar; this module makes the *solving*
+columnar too.  One kernel call evaluates a Section 7 heuristic across
+every row of an ensemble — shared interval enumeration, batched
+log-reliability arithmetic, vectorized feasibility masks — instead of
+one object-level :func:`~repro.algorithms.heuristic_best` solve per
+instance.
+
+Bit-identity contract
+---------------------
+The kernels reproduce the per-instance path **bit for bit** — same
+``solved`` flags, same failure probabilities, same objective values —
+so cached sweep entries written by either path are interchangeable.
+That contract dictates the implementation style:
+
+* NumPy's SIMD transcendentals (``np.log`` & co.) agree with
+  themselves across array shapes and strides but differ from
+  ``math.log`` by an occasional ulp.  Every step the scalar path
+  computes through ``math.*`` (``logrel.log_failure``, the
+  ``logrel.parallel`` tail, ``-expm1`` / ``exp`` conversions) is
+  therefore mapped element-wise over the *very same* scalar functions
+  (:func:`numpy.frompyfunc`), while steps the scalar path already runs
+  through NumPy (``logrel.log1mexp`` on allocation-score pairs, prefix
+  sums, stable argsorts) stay vectorized.
+* Sequential accumulations (``sum()`` starting at ``0``) are
+  replicated as sequential masked adds — ``k`` rounded additions are
+  not ``k * x``.
+* Tie-breaks (the allocation heap's smallest-index pop, the DP's
+  strict ``<``, the selection's strict ``>``) map onto
+  first-occurrence ``argmax`` / ``argmin``.
+
+Scope
+-----
+The kernels cover the cases where candidate divisions and allocations
+are bounds-independent: homogeneous platforms (Algo-Alloc takes no
+bounds there), the paper's ``"reliability"`` objective, no reliability
+floor, and unseeded methods.  Anything else raises
+:class:`BatchUnsupported`, and callers — the harness, the worker
+shards — fall back to the per-row path.  Fallback is a contract, not
+an error: a heterogeneous ensemble simply takes the object-level
+route it always took.
+
+Entry points
+------------
+:func:`batch_heuristic_best` is the kernel;
+:func:`heuristic_solve_batch` packages it as the ``solve_batch``
+capability the method registry attaches to ``heur-l`` / ``heur-p`` /
+``heuristic`` (see :mod:`repro.experiments.methods`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.util import logrel
+
+__all__ = [
+    "BatchUnsupported",
+    "batch_heuristic_best",
+    "heuristic_solve_batch",
+]
+
+
+class BatchUnsupported(Exception):
+    """The batched kernel does not cover this ensemble/problem shape.
+
+    Raised *before* any work happens; the caller runs the per-row path
+    instead.  Carrying the reason keeps harness logs explainable.
+    """
+
+
+# Element-wise maps over the exact scalar functions the per-instance
+# path calls — the ulp-level contract (see the module docstring).
+_log_failure_map = np.frompyfunc(logrel.log_failure, 1, 1)
+_failure_map = np.frompyfunc(logrel.failure, 1, 1)
+_reliability_map = np.frompyfunc(logrel.reliability, 1, 1)
+
+
+def _parallel_tail(log_prod_f: float) -> float:
+    """The tail of :func:`logrel.parallel` after the failure-log sum.
+
+    Replicates its branch structure exactly: a ``-inf`` product means
+    some branch is perfect (stage reliability 1), a ``0.0`` product
+    means every branch certainly fails, and otherwise the two-branch
+    log1mexp evaluates ``log(1 - prod f)``.
+    """
+    if log_prod_f == -math.inf:
+        return logrel.PERFECT
+    if log_prod_f == 0.0:
+        return -math.inf
+    if log_prod_f > -math.log(2.0):
+        return math.log(-math.expm1(log_prod_f))
+    return math.log1p(-math.exp(log_prod_f))
+
+
+_parallel_tail_map = np.frompyfunc(_parallel_tail, 1, 1)
+
+
+def _pyfloat(mapped: np.ndarray) -> np.ndarray:
+    """Cast a ``frompyfunc`` object-array result back to float64."""
+    return mapped.astype(float)
+
+
+def _check_supported(
+    ensemble, which: str, objective: str, min_reliability: float
+) -> None:
+    if which not in ("heur-l", "heur-p", "both"):
+        raise ValueError(f"unknown heuristic {which!r}")
+    if objective != "reliability":
+        raise BatchUnsupported(
+            f"batched heuristics cover objective 'reliability' only, "
+            f"got {objective!r}"
+        )
+    if float(min_reliability) != 0.0:
+        raise BatchUnsupported(
+            "batched heuristics do not apply a reliability floor "
+            f"(got min_reliability={min_reliability!r})"
+        )
+    if not ensemble.all_homogeneous:
+        raise BatchUnsupported(
+            "batched heuristics require homogeneous platform rows "
+            "(heterogeneous allocation is bounds-dependent)"
+        )
+
+
+def _heur_l_boundaries(output: np.ndarray, m: int) -> np.ndarray:
+    """Algorithm 3 boundaries for every row: ``(r, m + 1)`` ints.
+
+    Cuts at the ``m - 1`` smallest output costs among tasks
+    ``tau_1 .. tau_{n-1}`` — the stable argsort matches the scalar
+    path's tie-break by chain position.
+    """
+    r, n = output.shape
+    bnd = np.empty((r, m + 1), dtype=np.int64)
+    bnd[:, 0] = 0
+    bnd[:, m] = n
+    if m > 1:
+        order = np.argsort(output[:, : n - 1], axis=1, kind="stable")
+        bnd[:, 1:m] = np.sort(order[:, : m - 1], axis=1) + 1
+    return bnd
+
+
+def _heur_p_tables(
+    work: np.ndarray, output: np.ndarray, bandwidth: float, M: int
+) -> np.ndarray:
+    """Algorithm 4's DP parent table for every row, shared across ``m``.
+
+    ``F(j, k)`` — the optimal ``k``-interval period over the first
+    ``j`` tasks — does not depend on the target interval count, so one
+    table to ``k = M`` serves the reconstruction for every candidate
+    ``m <= M``.  Returns ``arg`` of shape ``(M + 1, r, n + 1)``; entry
+    ``arg[k, :, j]`` is the optimal previous boundary ``j'`` (the
+    scalar DP's first strict minimizer).
+    """
+    r, n = work.shape
+    prefix = np.concatenate(
+        [np.zeros((r, 1)), np.cumsum(work, axis=1)], axis=1
+    )
+    out_time = output / bandwidth
+    ridx = np.arange(r)
+
+    INF = math.inf
+    F_prev = np.full((r, n + 1), INF)
+    F_prev[:, 1:] = np.maximum(prefix[:, 1:], out_time)
+    arg = np.zeros((M + 1, r, n + 1), dtype=np.int64)
+    for k in range(2, M + 1):
+        F_k = np.full((r, n + 1), INF)
+        for j in range(k, n + 1):
+            # j' ranges over k-1 .. j-1; three-way max as in the scalar DP.
+            cand = np.maximum(
+                np.maximum(
+                    F_prev[:, k - 1 : j],
+                    prefix[:, j : j + 1] - prefix[:, k - 1 : j],
+                ),
+                out_time[:, j - 1 : j],
+            )
+            idx = np.argmin(cand, axis=1)  # first minimum = strict '<'
+            F_k[:, j] = cand[ridx, idx]
+            arg[k, :, j] = idx + (k - 1)
+        F_prev = F_k
+    return arg
+
+
+def _heur_p_boundaries(arg: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Reconstruct the ``m``-interval boundaries from the DP table."""
+    r = arg.shape[1]
+    ridx = np.arange(r)
+    bnd = np.empty((r, m + 1), dtype=np.int64)
+    bnd[:, 0] = 0
+    bnd[:, m] = n
+    j = np.full(r, n, dtype=np.int64)
+    for k in range(m, 1, -1):
+        j = arg[k, ridx, j]
+        bnd[:, k - 1] = j
+    return bnd
+
+
+def _algo_alloc_counts(lf: np.ndarray, p: int, K: int) -> np.ndarray:
+    """Algo-Alloc's replica counts for every row at once.
+
+    *lf* is the ``(r, m)`` per-interval branch log-failure matrix.
+    Replicates the Section 5.5 greedy exactly: each step gives one
+    processor to the interval with the maximal improvement score,
+    ties to the smallest interval index (the heap's tuple order); the
+    step count ``min(p - m, m * (K - 1))`` is uniform across rows
+    because every step allocates exactly one replica per row.
+    """
+    r, m = lf.shape
+    ridx = np.arange(r)
+    counts = np.ones((r, m), dtype=np.int64)
+    steps = min(p - m, m * (K - 1))
+    for _ in range(steps):
+        # score(j, k) = log1mexp((k+1) lf) - log1mexp(k lf), as the
+        # scalar path computes it (NumPy log1mexp on both members).
+        lo_cur = logrel.log1mexp(counts * lf)
+        lo_nxt = logrel.log1mexp((counts + 1) * lf)
+        score = lo_nxt - lo_cur
+        score = np.where(counts < K, score, -math.inf)
+        j = np.argmax(score, axis=1)  # first maximum = smallest index
+        counts[ridx, j] += 1
+    return counts
+
+
+def _stage_log_fail(lf: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """``sum()`` of ``counts`` copies of each branch log-failure.
+
+    Sequential masked adds starting from ``+0.0`` — exactly the Python
+    ``sum()`` inside :func:`logrel.parallel` (``k`` rounded additions,
+    and ``0 + (-0.0)`` is ``+0.0``), which ``counts * lf`` is not.
+    """
+    slf = np.zeros_like(lf) + lf
+    for t in range(1, int(counts.max())):
+        slf = np.where(counts > t, slf + lf, slf)
+    return slf
+
+
+def _candidate_metrics(
+    bnd: np.ndarray,
+    prefix: np.ndarray,
+    output: np.ndarray,
+    speeds: np.ndarray,
+    rates: np.ndarray,
+    bandwidth: float,
+    link_rate: float,
+    p: int,
+    K: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Evaluate one candidate division for every row.
+
+    Returns ``(log_reliability, worst_period, worst_latency)`` vectors
+    of shape ``(r,)`` — the three numbers ``heuristic_best`` reads off
+    a candidate's :class:`~repro.core.evaluation.MappingEvaluation`.
+    """
+    r = bnd.shape[0]
+    ridx = np.arange(r)[:, None]
+
+    starts, stops = bnd[:, :-1], bnd[:, 1:]
+    W = prefix[ridx, stops] - prefix[ridx, starts]          # (r, m)
+    out_sizes = output[ridx, stops - 1]                     # o_{l_j}
+    in_sizes = np.where(starts == 0, 0.0, output[ridx, np.maximum(starts - 1, 0)])
+
+    # One replica branch of the Fig. 5 RBD, composed exactly as
+    # _branch_logrel does: (comm_in + interval) + comm_out.
+    ell_in = -link_rate * (in_sizes / bandwidth)
+    ell_out = -link_rate * (out_sizes / bandwidth)
+    ell_int = -rates[:, None] * (W / speeds[:, None])
+    branch = (ell_in + ell_int) + ell_out
+
+    lf = _pyfloat(_log_failure_map(branch))                 # log a_j
+    counts = _algo_alloc_counts(lf, p, K)
+    stage_lpf = _stage_log_fail(lf, counts)
+    stage_ell = _pyfloat(_parallel_tail_map(stage_lpf))
+
+    # Serial composition and the latency sum are sequential in the
+    # scalar path; replicate the addition order.
+    log_rel = np.zeros(r)
+    wc = W / speeds[:, None]
+    comm = out_sizes / bandwidth
+    wl = np.zeros(r)
+    m = bnd.shape[1] - 1
+    for j in range(m):
+        log_rel = log_rel + stage_ell[:, j]
+        wl = wl + (wc[:, j] + comm[:, j])
+    wp = np.maximum(comm.max(axis=1), wc.max(axis=1))
+    return log_rel, wp, wl
+
+
+def batch_heuristic_best(
+    ensemble,
+    bounds: Sequence[tuple[float, float]],
+    *,
+    rows: "Sequence[int] | None" = None,
+    which: str = "both",
+    objective: str = "reliability",
+    min_reliability: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run a Section 7 heuristic on every ensemble row at every bound.
+
+    The batched twin of solving ``heuristic_best(chain, platform,
+    max_period=P, max_latency=L, which=which)`` per row per sweep
+    point — bit-identical to that loop, one kernel call instead.
+
+    Parameters
+    ----------
+    ensemble:
+        A homogeneous-rows :class:`~repro.core.ensemble.Ensemble`
+        (rows may carry *different* homogeneous platforms).
+    bounds:
+        ``(max_period, max_latency)`` per sweep point.
+    rows:
+        Row indices to solve (default: all rows, in order).
+    which:
+        ``"heur-l"``, ``"heur-p"``, or ``"both"`` (candidate order
+        matches :func:`~repro.algorithms.heuristic_best`).
+    objective, min_reliability:
+        Must be ``"reliability"`` / ``0.0`` — anything else raises
+        :class:`BatchUnsupported`.
+
+    Returns
+    -------
+    (solved, failure, objective_values):
+        Arrays of shape ``(len(rows), len(bounds))``: feasibility
+        flags, failure probabilities (1.0 where unsolved), and
+        achieved reliabilities (0.0 where unsolved).
+    """
+    _check_supported(ensemble, which, objective, min_reliability)
+    if rows is None:
+        rows = range(ensemble.n_instances)
+    rows = np.asarray(list(rows), dtype=np.int64)
+    n_pts = len(bounds)
+    r = len(rows)
+    if r == 0:
+        empty = np.zeros((0, n_pts))
+        return empty.astype(bool), np.ones((0, n_pts)), np.zeros((0, n_pts))
+
+    n, p, K = ensemble.n_tasks, ensemble.p, ensemble.max_replication
+    b, link = ensemble.bandwidth, ensemble.link_failure_rate
+    work = np.ascontiguousarray(ensemble.work[rows])
+    output = np.ascontiguousarray(ensemble.output[rows])
+    # Homogeneous rows: column 0 is every processor (the broadcast
+    # property serves shared-platform ensembles transparently).
+    speeds = np.ascontiguousarray(ensemble.speeds[rows, 0], dtype=float)
+    rates = np.ascontiguousarray(ensemble.failure_rates[rows, 0], dtype=float)
+
+    prefix = np.concatenate([np.zeros((r, 1)), np.cumsum(work, axis=1)], axis=1)
+
+    M = min(n, p)
+    names = ("heur-p", "heur-l") if which == "both" else (which,)
+    arg = _heur_p_tables(work, output, b, M) if "heur-p" in names else None
+
+    # Candidates are bounds-independent on homogeneous platforms:
+    # enumerate once, then mask per sweep point.  Stacking order is the
+    # scalar loop order — name-major, interval count ascending.
+    cand_ell, cand_wp, cand_wl = [], [], []
+    for name in names:
+        for m in range(1, M + 1):
+            if name == "heur-l":
+                bnd = _heur_l_boundaries(output, m)
+            else:
+                bnd = _heur_p_boundaries(arg, n, m)
+            ell, wp, wl = _candidate_metrics(
+                bnd, prefix, output, speeds, rates, b, link, p, K
+            )
+            cand_ell.append(ell)
+            cand_wp.append(wp)
+            cand_wl.append(wl)
+    cand_ell = np.stack(cand_ell)                           # (C, r)
+    cand_wp = np.stack(cand_wp)
+    cand_wl = np.stack(cand_wl)
+
+    solved = np.zeros((r, n_pts), dtype=bool)
+    failure = np.ones((r, n_pts), dtype=float)
+    values = np.zeros((r, n_pts), dtype=float)
+    ridx = np.arange(r)
+    for pt, (P, L) in enumerate(bounds):
+        mask = (cand_wp <= float(P)) & (cand_wl <= float(L))
+        feasible = mask.any(axis=0)
+        key = np.where(mask, cand_ell, -math.inf)
+        best = key.max(axis=0)
+        # First feasible candidate attaining the maximum — the scalar
+        # selection's strict-improvement tie-break.
+        chosen = np.argmax(mask & (key == best), axis=0)
+        ell_best = cand_ell[chosen, ridx]
+        solved[:, pt] = feasible
+        failure[:, pt] = np.where(
+            feasible, _pyfloat(_failure_map(ell_best)), 1.0
+        )
+        values[:, pt] = np.where(
+            feasible, _pyfloat(_reliability_map(ell_best)), 0.0
+        )
+    return solved, failure, values
+
+
+def heuristic_solve_batch(which: str):
+    """Package :func:`batch_heuristic_best` as a ``solve_batch`` entry.
+
+    The returned callable has the registry's batched-solve signature —
+    ``(ensemble, bounds, *, rows, objective, min_reliability)`` — and
+    is what :func:`repro.experiments.methods.register_method` attaches
+    to the built-in heuristics.
+    """
+    if which not in ("heur-l", "heur-p", "both"):
+        raise ValueError(f"unknown heuristic {which!r}")
+
+    def solve_batch(
+        ensemble,
+        bounds,
+        *,
+        rows=None,
+        objective="reliability",
+        min_reliability=0.0,
+    ):
+        return batch_heuristic_best(
+            ensemble,
+            bounds,
+            rows=rows,
+            which=which,
+            objective=objective,
+            min_reliability=min_reliability,
+        )
+
+    return solve_batch

@@ -486,7 +486,7 @@ class Ensemble:
         Returns ``(chain, platform)`` tuples — or
         :class:`~repro.experiments.instances.HetInstancePair` records
         for paired ensembles — exactly the shapes the pre-columnar
-        ``generate_instances`` produced.
+        generator produced.
         """
         if self.paired:
             # Lazy: repro.experiments imports the harness, which imports

@@ -41,20 +41,14 @@ the per-instance unbounded-solve scalars
 :func:`repro.solve.derive_bounds_grid` needs, so ``--grid auto`` is
 free on a warm cache.
 
-Legacy-read path
-----------------
-Format-3 entries (repro 1.2.x: keys hashed from JSON ``Problem``
-payloads, no objective values) are not lost: when a format-4 lookup
-misses, :meth:`ResultCache.get_legacy_unit` re-derives the exact key
-1.2.0 would have used and, on a hit, reconstructs the reliability
-objective values from the stored failure probabilities so the harness
-can migrate the entry under its new key.  One release later the path
-(and :data:`LEGACY_CACHE_FORMAT`) goes away.
-
 Corrupted or truncated entries (interrupted writes, disk faults) are
 treated as misses and deleted, so recovery is automatic: the unit is
-recomputed and rewritten.  Writes go through a temp file + ``os.replace``
-so concurrent runs sharing a cache directory never observe a partial
+recomputed and rewritten.  Each such recovery also increments the
+dedicated :attr:`ResultCache.corrupt` counter — a corrupt entry *is* a
+miss for control flow, but a run whose manifest shows nonzero
+``corrupt`` had cache files damaged on disk, which plain miss counts
+used to hide.  Writes go through a temp file + ``os.replace`` so
+concurrent runs sharing a cache directory never observe a partial
 entry.
 
 Environment
@@ -63,8 +57,9 @@ Environment
     Default cache directory for the harness/figures/benches when no
     explicit ``cache`` argument is given.  Unset means "no cache".
 
-Statistics (:attr:`ResultCache.hits` / ``misses`` / ``puts``) feed the
-run manifest written by ``python -m repro experiment``.
+Statistics (:attr:`ResultCache.hits` / ``misses`` / ``puts`` /
+``corrupt``) feed the run manifest written by ``python -m repro
+experiment``.
 """
 
 from __future__ import annotations
@@ -84,7 +79,6 @@ from repro.solve.problem import Problem, encode_bound
 
 __all__ = [
     "CACHE_FORMAT",
-    "LEGACY_CACHE_FORMAT",
     "ResultCache",
     "resolve_cache",
 ]
@@ -95,13 +89,9 @@ __all__ = [
 #: records), and to 4 with the columnar ensemble core: keys are now
 #: derived from raw-array *instance digests* instead of JSON Problem
 #: payload hashes, and entries carry per-point achieved objective
-#: values.  Format-3 entries remain readable through the legacy path.
+#: values.  The one-release format-3 legacy-read path was removed in
+#: 1.4.0; pre-columnar entries simply miss and recompute.
 CACHE_FORMAT = 4
-
-#: The cache format (and the release that wrote it) served by the
-#: one-release legacy-read path (:meth:`ResultCache.get_legacy_unit`).
-LEGACY_CACHE_FORMAT = 3
-LEGACY_CACHE_VERSION = "1.2.0"
 
 
 class ResultCache:
@@ -117,6 +107,12 @@ class ResultCache:
     hits, misses, puts:
         Lookup/store counters since construction — the "zero solves on a
         warm cache" acceptance check reads these.
+    corrupt:
+        How many lookups found an entry on disk but could not use it
+        (bad JSON, wrong format, wrong shape).  Every corrupt lookup
+        also counts as a miss — the unit recomputes either way — but a
+        nonzero ``corrupt`` means cache files were damaged, not merely
+        absent.
     """
 
     def __init__(self, root: "str | os.PathLike[str]") -> None:
@@ -124,6 +120,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        self.corrupt = 0
 
     # -- keys ------------------------------------------------------------
 
@@ -265,21 +262,22 @@ class ResultCache:
         """Return ``(solved, failure, objective_values)``, or None on miss.
 
         ``objective_values`` is None for entries stored without them
-        (direct :meth:`put` calls, migrated legacy units for
-        non-reliability objectives).  A malformed entry (bad JSON,
-        wrong version, wrong length) counts as a miss and is deleted so
-        the recomputed unit overwrites it.
+        (direct :meth:`put` calls).  A malformed entry (bad JSON, wrong
+        version, wrong length) counts as a miss *and* a
+        :attr:`corrupt` lookup, and is deleted so the recomputed unit
+        overwrites it.
         """
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
-            arrays = self._unit_arrays_from(payload, n_points, CACHE_FORMAT)
+            arrays = self._unit_arrays_from(payload, n_points)
         except FileNotFoundError:
             self.misses += 1
             return None
         except (ValueError, KeyError, TypeError, OSError):
             # Corrupted entry: recover by dropping it and recomputing.
             self.misses += 1
+            self.corrupt += 1
             try:
                 path.unlink()
             except OSError:
@@ -290,9 +288,9 @@ class ResultCache:
 
     @staticmethod
     def _unit_arrays_from(
-        payload: dict, n_points: int, expected_format: int
+        payload: dict, n_points: int
     ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
-        if payload["repro_cache"] != expected_format:
+        if payload["repro_cache"] != CACHE_FORMAT:
             raise ValueError("cache format mismatch")
         solved = np.asarray(payload["solved"], dtype=bool)
         failure = np.asarray(payload["failure"], dtype=float)
@@ -307,53 +305,6 @@ class ResultCache:
             if objective_values.shape != (n_points,):
                 raise ValueError("cache entry shape mismatch")
         return solved, failure, objective_values
-
-    def get_legacy_unit(
-        self,
-        method_name: str,
-        problem_payload: dict,
-        bounds: Sequence[tuple[float, float]],
-        fingerprint: "str | None" = None,
-        scenario: "str | None" = None,
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray] | None":
-        """Look one unit up under its pre-columnar (format-3) key.
-
-        *problem_payload* is the unit's unbounded base ``Problem`` in
-        :mod:`repro.io` form (buildable straight from ensemble columns
-        — no objects); the key is re-derived exactly as repro
-        :data:`LEGACY_CACHE_VERSION` computed it.  Only ``objective="reliability"`` units
-        are resolvable — their achieved objective values reconstruct
-        exactly as ``1 - failure`` — and only unseeded ones (legacy
-        per-unit seeds hashed the JSON payload, which no longer exists
-        on the hot path).  Does **not** count a miss (the caller's
-        format-4 lookup already did); counts a hit on success so warm
-        migrated runs still report zero recomputation.
-        """
-        if problem_payload.get("objective", "reliability") != "reliability":
-            return None
-        legacy_key = content_hash(
-            {
-                "repro_cache": LEGACY_CACHE_FORMAT,
-                "repro_version": LEGACY_CACHE_VERSION,
-                "method": method_name,
-                "fingerprint": fingerprint,
-                "seed": None,
-                **({"scenario": scenario} if scenario is not None else {}),
-            },
-            content_hash(problem_payload),
-            [[encode_bound(float(P)), encode_bound(float(L))] for P, L in bounds],
-        )
-        try:
-            payload = json.loads(self._path(legacy_key).read_text())
-            solved, failure, _ = self._unit_arrays_from(
-                payload, len(bounds), LEGACY_CACHE_FORMAT
-            )
-        except (FileNotFoundError, ValueError, KeyError, TypeError, OSError):
-            return None
-        self.hits += 1
-        # objective_value("reliability") is 1 - failure_probability for
-        # solved points and exactly 0.0 (failure 1.0) elsewhere.
-        return solved, failure, 1.0 - failure
 
     def put(
         self,
@@ -395,6 +346,7 @@ class ResultCache:
             return None
         except (ValueError, KeyError, TypeError, OSError):
             self.misses += 1
+            self.corrupt += 1
             try:
                 path.unlink()
             except OSError:
@@ -429,7 +381,12 @@ class ResultCache:
 
     def stats(self) -> dict:
         """Counter snapshot for manifests and logs."""
-        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

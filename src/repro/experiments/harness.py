@@ -34,6 +34,15 @@ a solver actually runs.  The sweep decomposes into independent **work
 units** — one registered method run on one instance across the whole
 bounds list.  Units are
 
+* **batched**: methods that carry a
+  :attr:`~repro.experiments.methods.Method.solve_batch` kernel solve
+  all of an ensemble's uncached, unseeded units in one columnar call
+  per ``(method, ensemble)`` group — bit-identical to the per-row
+  path (same arrays, same cache entries), just without the Python
+  loop.  Kernels that do not cover a shape (heterogeneous rows, a
+  converse objective, a reliability floor) raise
+  :class:`~repro.algorithms.batch.BatchUnsupported` and those units
+  fall back to per-row solves;
 * **cached**: each unit's ``(solved, failure, objective_values)``
   arrays are stored under a content hash derived from the method name,
   the instance's raw-array *row digest*
@@ -41,9 +50,7 @@ bounds list.  Units are
   fields, the per-unit seed, and — for sweeps materialized from a
   declarative scenario (:mod:`repro.scenarios`) — the scenario spec's
   content hash (:mod:`repro.experiments.cache`).  A warm sweep
-  therefore touches only array bytes: no objects, no JSON.  Format-3
-  entries (pre-columnar) are still found through the cache's
-  legacy-read path and migrated in place;
+  therefore touches only array bytes: no objects, no JSON;
 * **parallel**: with ``jobs > 1``, uncached units fan out over a
   :class:`concurrent.futures.ProcessPoolExecutor` in **columnar
   shards**: workers receive the method *name* plus one payload per
@@ -78,11 +85,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.algorithms.batch import BatchUnsupported
 from repro.core.ensemble import Ensemble, InstanceView, ensembles_from_instances
 from repro.experiments.cache import ResultCache, resolve_cache
 from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
-from repro.io import FORMAT_VERSION
-from repro.solve.problem import Problem, encode_bound
+from repro.solve.problem import Problem
 from repro.util.rng import stable_seed
 
 __all__ = ["SweepResult", "run_sweep", "resolve_jobs"]
@@ -115,6 +122,11 @@ class SweepResult:
         matching its conventions).
     objective:
         The :data:`repro.solve.OBJECTIVES` entry the sweep carried.
+    batch_units:
+        How many work units the batched kernels served (0 when no
+        method carries one, the shapes were unsupported, batching was
+        disabled, or every unit came from cache) — diagnostics only,
+        the arrays are bit-identical either way.
     """
 
     xs: np.ndarray
@@ -123,6 +135,7 @@ class SweepResult:
     failure: np.ndarray
     objective_values: "np.ndarray | None" = None
     objective: str = "reliability"
+    batch_units: int = 0
 
     def counts(self, method: str) -> np.ndarray:
         """Solutions found per sweep point (the Fig. 6-style series)."""
@@ -278,6 +291,28 @@ def _solve_shard_payload(
         link_failure_rate=shard["link_failure_rate"],
         max_replication=shard["max_replication"],
     )
+    if method.solve_batch is not None and all(s is None for s in seeds):
+        # The batched path covers the whole shard or none of it; a
+        # kernel that rejects the shape drops to the per-unit loop.
+        try:
+            solved, failure, objective_values = method.solve_batch(
+                ensemble,
+                bounds,
+                rows=list(range(len(seeds))),
+                objective=objective,
+                min_reliability=min_reliability,
+            )
+        except BatchUnsupported:
+            pass
+        else:
+            return [
+                (
+                    [bool(s) for s in solved[j]],
+                    [float(f) for f in failure[j]],
+                    [float(v) for v in objective_values[j]],
+                )
+                for j in range(len(seeds))
+            ]
     out = []
     for j, seed in enumerate(seeds):
         solved, failure, objective_values = _unit_arrays(
@@ -334,46 +369,6 @@ def _unit_seed(
     )
 
 
-def _base_problem_payload(
-    view: InstanceView, objective: str, min_reliability: float
-) -> dict:
-    """The unit's unbounded base Problem in :mod:`repro.io` form.
-
-    Built straight from the ensemble columns — no ``TaskChain`` /
-    ``Platform`` / ``Problem`` objects — and byte-identical to
-    ``to_dict(Problem(chain, platform, ...).unbounded())``, which is
-    what lets the cache's legacy-read path re-derive pre-columnar keys
-    without materializing anything.  The equivalence with the real
-    codec is pinned by ``tests/test_result_cache.py``'s legacy
-    migration tests (they plant entries keyed via
-    ``Problem.content_hash()`` and assert this path finds them); the
-    duplication dies with the legacy path one release after 1.3.
-    """
-    return {
-        "type": "Problem",
-        "chain": {
-            "type": "TaskChain",
-            "work": view.work.tolist(),
-            "output": view.output.tolist(),
-            "repro_format": FORMAT_VERSION,
-        },
-        "platform": {
-            "type": "Platform",
-            "speeds": view.speeds.tolist(),
-            "failure_rates": view.failure_rates.tolist(),
-            "bandwidth": view.bandwidth,
-            "link_failure_rate": view.link_failure_rate,
-            "max_replication": view.max_replication,
-            "repro_format": FORMAT_VERSION,
-        },
-        "max_period": encode_bound(math.inf),
-        "max_latency": encode_bound(math.inf),
-        "objective": objective,
-        "min_reliability": float(min_reliability),
-        "repro_format": FORMAT_VERSION,
-    }
-
-
 def _resolve_instances(
     instances, seed: int, n_instances: "int | None", scenario_key: "str | None"
 ) -> tuple["list[Ensemble]", "str | None"]:
@@ -422,6 +417,7 @@ def run_sweep(
     scenario_key: "str | None" = None,
     objective: str = "reliability",
     min_reliability: float = 0.0,
+    batch: "bool | str" = "auto",
 ) -> SweepResult:
     """Run every method on every instance at every bound point.
 
@@ -471,6 +467,15 @@ def run_sweep(
         not declare the objective raise up front, exactly like a
         homogeneous-only method on a heterogeneous platform — plan
         with :meth:`repro.solve.Planner.plan` to pre-filter.
+    batch:
+        ``"auto"`` (default) and ``True`` serve uncached, unseeded
+        units of :attr:`~repro.experiments.methods.Method.solve_batch`
+        methods through one columnar kernel call per ``(method,
+        ensemble)`` group; ``False`` forces the per-row path.  Results
+        are bit-identical either way (cache entries included) — the
+        knob exists for diagnostics and the equivalence tests.
+        :attr:`SweepResult.batch_units` reports how many units the
+        kernels served.
     """
     ensembles, scenario_key = _resolve_instances(instances, seed, n_instances, scenario_key)
     views: list[InstanceView] = [v for e in ensembles for v in e]
@@ -514,6 +519,9 @@ def run_sweep(
             raise ValueError("xs must align with bounds")
         xs_arr = np.asarray(xs, dtype=float)
 
+    if batch not in (True, False, "auto"):
+        raise ValueError(f"batch must be True, False, or 'auto', got {batch!r}")
+
     jobs = resolve_jobs(jobs)
     store = resolve_cache(cache)
     bounds = [(float(P), float(L)) for P, L in bounds]
@@ -552,20 +560,6 @@ def run_sweep(
                     min_reliability=min_reliability,
                 )
                 hit = store.get(key, n_pts)
-                if hit is None and unit_seed is None:
-                    # One release of grace for pre-columnar caches:
-                    # re-derive the format-3 key (this is the only spot
-                    # that still builds a JSON payload, and only on a
-                    # miss) and migrate the entry under its new key.
-                    hit = store.get_legacy_unit(
-                        method.name,
-                        _base_problem_payload(view, objective, min_reliability),
-                        bounds,
-                        fingerprint=fingerprints[method.name],
-                        scenario=scenario_key,
-                    )
-                    if hit is not None:
-                        store.put(key, *hit, method_name=method.name)
                 if hit is not None:
                     unit_solved, unit_failure, unit_values = hit
                     solved[mi, :, ii] = unit_solved
@@ -594,6 +588,48 @@ def run_sweep(
             methods[mi], views[ii], bounds, unit_seed, objective, min_reliability
         ))
 
+    # Flat unit index -> (owning ensemble, row within it).
+    ensemble_of: list[int] = []
+    row_of: list[int] = []
+    for ei, ensemble in enumerate(ensembles):
+        ensemble_of.extend([ei] * len(ensemble))
+        row_of.extend(range(len(ensemble)))
+
+    # Batched path: solve whole (method, ensemble) groups in one
+    # kernel call.  Only unseeded units qualify (per-unit seeds are a
+    # per-row concept), and a kernel that rejects the shape leaves its
+    # group pending for the per-row machinery below.
+    batch_units = 0
+    if batch in (True, "auto"):
+        groups: dict[tuple[int, int], list[tuple]] = {}
+        for unit in pending:
+            mi, ii, unit_seed, _key = unit
+            if unit_seed is None and methods[mi].solve_batch is not None:
+                groups.setdefault((mi, ensemble_of[ii]), []).append(unit)
+        served: set[tuple] = set()
+        for (mi, ei), units in groups.items():
+            try:
+                group_solved, group_failure, group_values = methods[mi].solve_batch(
+                    ensembles[ei],
+                    bounds,
+                    rows=[row_of[u[1]] for u in units],
+                    objective=objective,
+                    min_reliability=min_reliability,
+                )
+            except BatchUnsupported:
+                continue
+            for r, unit in enumerate(units):
+                finish(
+                    unit[0], unit[1], unit[3],
+                    np.asarray(group_solved[r], dtype=bool),
+                    np.asarray(group_failure[r], dtype=float),
+                    np.asarray(group_values[r], dtype=float),
+                )
+                served.add(unit)
+            batch_units += len(units)
+        if served:
+            pending = [u for u in pending if u not in served]
+
     # Expensive methods first: with a shared pool, a 10x-cost ILP unit
     # submitted last would serialize the tail of the run.
     pending.sort(key=lambda u: (-methods[u[0]].cost_hint, u[0], u[1]))
@@ -614,11 +650,6 @@ def run_sweep(
         # Group the remote units into columnar shards: one payload
         # ships several instances' raw rows for one (method, ensemble)
         # pair.
-        ensemble_of: list[int] = []
-        row_of: list[int] = []
-        for ei, ensemble in enumerate(ensembles):
-            ensemble_of.extend([ei] * len(ensemble))
-            row_of.extend(range(len(ensemble)))
         shard_size = max(1, min(_SHARD_MAX, -(-len(remote) // (jobs * _SHARD_WAVES))))
         shards: list[list[tuple]] = []
         open_shards: dict[tuple[int, int], list[tuple]] = {}
@@ -681,4 +712,5 @@ def run_sweep(
         failure=failure,
         objective_values=objective_values,
         objective=objective,
+        batch_units=batch_units,
     )

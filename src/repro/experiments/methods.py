@@ -94,6 +94,7 @@ import numpy as np
 from repro.algorithms import (
     brute_force_best,
     heuristic_best,
+    heuristic_solve_batch,
     ilp_best,
     pareto_dp_best,
 )
@@ -271,6 +272,16 @@ class Method:
         :meth:`check_problem` refuses problems with any other
         objective, and the planner skips the method for
         objective-mismatched plans with a recorded reason.
+    solve_batch:
+        Optional batched entry point — ``(ensemble, bounds, *, rows,
+        objective, min_reliability) -> (solved, failure,
+        objective_values)`` arrays of shape ``(len(rows),
+        len(bounds))``, bit-identical to looping :attr:`solve` over
+        the rows.  The sweep harness calls it per ``(method,
+        ensemble)`` group; a kernel that does not cover the shape
+        raises :class:`repro.algorithms.batch.BatchUnsupported` and
+        every row falls back to the per-instance path.  ``None``
+        (default) means "no batched path".
     """
 
     name: str
@@ -282,6 +293,7 @@ class Method:
     max_tasks: "int | None" = None
     tags: tuple[str, ...] = ()
     objectives: tuple[str, ...] = ("reliability",)
+    solve_batch: "Callable | None" = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "solve", _as_canonical(self.solve))
@@ -399,6 +411,12 @@ class Method:
             digest.update(b"\x1f")
 
         visit(self.solve)
+        if self.solve_batch is not None:
+            # The batched path must agree with solve bit for bit, but
+            # its code is still part of the implementation a cache key
+            # vouches for — edits to the kernel invalidate entries.
+            digest.update(b"batch\x1e")
+            visit(self.solve_batch)
         return digest.hexdigest()
 
     def __call__(self, *args, **kwargs) -> SolveResult:
@@ -422,13 +440,16 @@ def register_method(
     max_tasks: "int | None" = None,
     tags: "tuple[str, ...] | list[str]" = (),
     objectives: "tuple[str, ...] | list[str]" = ("reliability",),
+    solve_batch: "Callable | None" = None,
     replace: bool = False,
 ) -> Callable[[Callable], Method]:
     """Decorator registering a solve callable as a named :class:`Method`.
 
     The callable takes a :class:`repro.solve.Problem` (legacy
     positional signatures are adapted with a DeprecationWarning).
-    Duplicate names are rejected (``ValueError``) unless
+    ``solve_batch`` optionally attaches a batched kernel (see
+    :attr:`Method.solve_batch`) that must reproduce ``fn`` row by row,
+    bit for bit.  Duplicate names are rejected (``ValueError``) unless
     ``replace=True`` — re-registering silently would let one experiment
     corrupt another's curves and cache keys.  Returns the
     :class:`Method` record, so the decorated name is the method object
@@ -453,6 +474,7 @@ def register_method(
             max_tasks=max_tasks,
             tags=tuple(tags),
             objectives=tuple(objectives),
+            solve_batch=solve_batch,
         )
         METHODS[name] = method
         return method
@@ -524,13 +546,24 @@ def _heur(which, selection, allocation="auto"):
     return solve
 
 
-register_method("heur-l")(_heur("heur-l", "feasible-best"))
-register_method("heur-p")(_heur("heur-p", "feasible-best"))
+# The standard heuristics carry the columnar kernel: on
+# homogeneous-rows ensembles (reliability objective, no floor) the
+# harness solves whole row groups in one call, bit-identical to the
+# per-row path; other shapes raise BatchUnsupported and fall back.
+register_method("heur-l", solve_batch=heuristic_solve_batch("heur-l"))(
+    _heur("heur-l", "feasible-best")
+)
+register_method("heur-p", solve_batch=heuristic_solve_batch("heur-p"))(
+    _heur("heur-p", "feasible-best")
+)
 
 # Both Section 7 heuristics, best feasible candidate kept — the CLI's
 # default on heterogeneous platforms.  "manual" keeps the planner from
 # auto-selecting it next to its own components heur-l / heur-p.
-register_method("heuristic", cost_hint=1.5, tags=("manual",))(
+register_method(
+    "heuristic", cost_hint=1.5, tags=("manual",),
+    solve_batch=heuristic_solve_batch("both"),
+)(
     _heur("both", "feasible-best")
 )
 

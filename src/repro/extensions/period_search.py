@@ -68,7 +68,10 @@ def minimize_period_search(
     rel_tol:
         Relative bracket width at which the bisection stops.
     max_probes:
-        Probe budget (each probe is one Heur-L solve).
+        Probe budget (each probe is one Heur-L solve).  When the budget
+        runs out before the bracket meets ``rel_tol``, the answer is
+        still the best witness seen but ``details["converged"]`` is
+        ``False``.
 
     Examples
     --------
@@ -128,6 +131,10 @@ def minimize_period_search(
             lo = mid
 
     assert best.mapping is not None and best.evaluation is not None
+    # The loop exits either because the bracket met rel_tol or because
+    # the probe budget ran out first; callers reading only the witness
+    # could not tell the two apart, so record which one happened.
+    converged = hi - lo <= rel_tol * max(hi, 1.0)
     return SolveResult(
         feasible=True,
         mapping=best.mapping,
@@ -137,5 +144,6 @@ def minimize_period_search(
             "optimal_period": float(best.evaluation.worst_case_period),
             "probes": probes,
             "bracket": (lo, hi),
+            "converged": converged,
         },
     )

@@ -23,8 +23,8 @@ Layers
 * :mod:`repro.scenarios.generate` — per-instance (legacy-bit-identical)
   and batched (vectorized) generation, both producing columnar
   :class:`repro.core.ensemble.Ensemble` objects whose rows materialize
-  lazily (``generate_instances`` remains as a deprecated materializing
-  wrapper).
+  lazily (``materialize_instances`` serves code that genuinely wants
+  per-instance objects).
 
 Quickstart
 ----------
@@ -65,7 +65,6 @@ from repro.scenarios.registry import (
 from repro.scenarios.generate import (
     generate_ensemble,
     generate_ensembles,
-    generate_instances,
     materialize_instances,
     resolve_scenario,
 )
@@ -93,7 +92,6 @@ __all__ = [
     "register_scenario",
     "generate_ensemble",
     "generate_ensembles",
-    "generate_instances",
     "materialize_instances",
     "resolve_scenario",
 ]

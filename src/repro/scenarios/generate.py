@@ -35,18 +35,14 @@ is what keeps the Section 8 re-expressions seed-compatible) and
 becomes one :class:`Ensemble` — variants differ in dimensions, so they
 cannot share one rectangular array block.
 
-Migration
----------
-:func:`generate_instances` — the per-instance list API — remains as a
-thin compatibility wrapper over :meth:`Ensemble.materialize` with a
-one-release :class:`DeprecationWarning` (mirroring the PR 3 ``Method``
-migration); new code should call :func:`generate_ensemble` /
-:func:`generate_ensembles` and keep the columnar form.
+The pre-columnar per-instance list API (``generate_instances``) has
+been removed after its one-release deprecation window; call
+:func:`generate_ensemble` / :func:`generate_ensembles` and keep the
+columnar form, or :func:`materialize_instances` where per-instance
+objects are genuinely needed.
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
@@ -59,16 +55,8 @@ from repro.util.rng import ensure_rng, spawn, stable_seed
 __all__ = [
     "generate_ensemble",
     "generate_ensembles",
-    "generate_instances",
     "resolve_scenario",
 ]
-
-_GENERATE_INSTANCES_DEPRECATED = (
-    "generate_instances() materializes one TaskChain/Platform object per draw "
-    "and is deprecated; use generate_ensemble()/generate_ensembles() and keep "
-    "the columnar Ensemble (call .materialize() where per-instance objects "
-    "are genuinely needed)"
-)
 
 
 def resolve_scenario(
@@ -137,34 +125,19 @@ def generate_ensemble(
     return ensembles[0]
 
 
-def generate_instances(
-    scenario: "str | ScenarioSpec | Scenario",
-    n_instances: "int | None" = None,
-    seed: int = 0,
-) -> list:
-    """Deprecated per-instance form of :func:`generate_ensembles`.
-
-    Materializes every row: ``(chain, platform)`` tuples for plain
-    specs, :class:`~repro.experiments.instances.HetInstancePair`
-    records for paired specs, variants concatenated in order — exactly
-    the pre-columnar shapes, bit for bit.  Emits a
-    :class:`DeprecationWarning`; scheduled for removal one release
-    after 1.3.
-    """
-    warnings.warn(_GENERATE_INSTANCES_DEPRECATED, DeprecationWarning, stacklevel=2)
-    return materialize_instances(scenario, n_instances=n_instances, seed=seed)
-
-
 def materialize_instances(
     scenario: "str | ScenarioSpec | Scenario",
     n_instances: "int | None" = None,
     seed: int = 0,
 ) -> list:
-    """Generate and materialize every instance (no deprecation warning).
+    """Generate and materialize every instance.
 
-    The internal workhorse behind :func:`generate_instances` — kept
-    callable for code that genuinely wants objects (tiny ensembles,
-    tests) without the migration nag.
+    Materializes every row: ``(chain, platform)`` tuples for plain
+    specs, :class:`~repro.experiments.instances.HetInstancePair`
+    records for paired specs, variants concatenated in order — exactly
+    the shapes the pre-columnar generator produced, bit for bit.  For
+    code that genuinely wants objects (tiny ensembles, tests); sweeps
+    should keep the columnar :class:`Ensemble`.
     """
     out: list = []
     for ensemble in generate_ensembles(scenario, n_instances=n_instances, seed=seed):

@@ -99,11 +99,19 @@ class Plan:
 
     def describe(self) -> dict[str, Any]:
         """Flat JSON-ready record for manifests and ``repro plan show``."""
+        from repro.experiments.methods import METHODS
+
         return {
             "scenario": self.scenario,
             "spec_hash": self.spec_hash,
             "objective": self.objective,
             "selected": list(self.selected),
+            "batched": [
+                name
+                for name in self.selected
+                if METHODS.get(name) is not None
+                and METHODS[name].solve_batch is not None
+            ],
             "skipped": [
                 {"method": s.method, "reason": s.reason} for s in self.skipped
             ],
@@ -123,6 +131,7 @@ class Plan:
                 f"cost_hint={method.cost_hint:g}"
                 f"{', exact' if method.exact else ''}"
                 f"{', homogeneous-only' if method.homogeneous_only else ''}"
+                f"{', batched' if method.solve_batch is not None else ''}"
                 if method is not None
                 else "?"
             )

@@ -1,0 +1,223 @@
+"""The batched solving layer: kernel-level bit-identity with the
+per-instance heuristics, the harness's batch serving and fallback, the
+registry's solve_batch capability, and the worker-shard batch path."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BatchUnsupported,
+    batch_heuristic_best,
+    heuristic_best,
+    heuristic_solve_batch,
+)
+from repro.experiments import Method, get_method, run_sweep
+from repro.experiments.cache import ResultCache
+from repro.scenarios import generate_ensemble, generate_ensembles, get_scenario
+
+BOUNDS = [(math.inf, math.inf), (600.0, 900.0), (150.0, 400.0)]
+
+#: Every builtin scenario, shrunk to equivalence-test size (the full
+#: dimensions are benchmark territory; bit-identity does not care).
+SHRINK = {
+    "section8-hom": {"n_instances": 3},
+    "section8-het": {"n_instances": 2},
+    "long-chain": {"n_instances": 2, "n_tasks": 30},
+    "scaling-stress": {"n_instances": 2, "n_tasks": 20, "p": 8},
+    "high-heterogeneity": {"n_instances": 2},
+    "unreliable-links": {"n_instances": 3},
+    "hot-spare": {"n_instances": 2},
+}
+
+#: The method exercised per (objective, homogeneous-platform) cell.
+#: None marks a genuinely uncovered cell (no registered method).
+OBJECTIVE_METHOD = {
+    ("reliability", True): "heuristic",
+    ("reliability", False): "heur-l",
+    ("period", True): "dp-period",
+    ("period", False): "het-period-search",
+    ("latency", True): "dp-latency",
+    ("latency", False): None,
+    ("energy", True): "energy-greedy",
+    ("energy", False): "energy-greedy",
+}
+
+
+def shrunk_spec(name):
+    return get_scenario(name).spec.with_(**SHRINK[name])
+
+
+def sweep_pair(tmp_path, spec, method, objective):
+    """The same sweep through the batched and the per-row path, each
+    into its own cold cache."""
+    sweeps, caches = [], []
+    for batch in ("auto", False):
+        cache = ResultCache(tmp_path / f"cache-{batch}")
+        sweeps.append(run_sweep(
+            spec, [method], BOUNDS,
+            cache=cache, objective=objective, batch=batch,
+        ))
+        caches.append(cache)
+    return sweeps, caches
+
+
+def cache_keys(cache):
+    return {p.name for p in cache.root.rglob("*.json")}
+
+
+def n_units(sweep):
+    n_methods, _, n_instances = sweep.solved.shape
+    return n_methods * n_instances
+
+
+class TestSweepEquivalenceMatrix:
+    """run_sweep(batch="auto") is bit-identical to the per-row path for
+    every builtin scenario x objective, cache entries included."""
+
+    @pytest.mark.parametrize("scenario", sorted(SHRINK))
+    @pytest.mark.parametrize(
+        "objective", ["reliability", "period", "latency", "energy"]
+    )
+    def test_batched_sweep_matches_per_row(self, tmp_path, scenario, objective):
+        entry = get_scenario(scenario)
+        method_name = OBJECTIVE_METHOD[objective, entry.homogeneous]
+        if method_name is None:
+            pytest.skip(f"no {objective!r} method for heterogeneous platforms")
+        method = get_method(method_name)
+        (batched, looped), (bcache, lcache) = sweep_pair(
+            tmp_path, shrunk_spec(scenario), method, objective
+        )
+        assert np.array_equal(batched.solved, looped.solved)
+        assert np.array_equal(batched.failure, looped.failure)
+        assert np.array_equal(batched.objective_values, looped.objective_values)
+        # Both paths write entries under identical keys with identical
+        # payloads — a sweep warmed by one path serves the other.
+        assert cache_keys(bcache) == cache_keys(lcache) != set()
+        assert looped.batch_units == 0
+        if (
+            method.solve_batch is not None
+            and entry.homogeneous
+            and objective == "reliability"
+        ):
+            assert batched.batch_units == n_units(batched)
+        else:
+            assert batched.batch_units == 0
+
+    def test_batch_warmed_cache_serves_per_row_sweep(self, tmp_path):
+        spec = shrunk_spec("section8-hom")
+        cache = ResultCache(tmp_path / "shared")
+        cold = run_sweep(spec, [get_method("heur-p")], BOUNDS, cache=cache)
+        assert cold.batch_units == n_units(cold) > 0
+        warm_cache = ResultCache(cache.root)
+        warm = run_sweep(
+            spec, [get_method("heur-p")], BOUNDS,
+            cache=warm_cache, batch=False,
+        )
+        assert warm_cache.hits == n_units(cold) and warm_cache.puts == 0
+        assert np.array_equal(cold.failure, warm.failure)
+
+    def test_parallel_workers_use_batch_shards(self, tmp_path):
+        spec = shrunk_spec("unreliable-links")
+        serial = run_sweep(spec, [get_method("heur-l")], BOUNDS, batch=False)
+        forked = run_sweep(spec, [get_method("heur-l")], BOUNDS, jobs=2)
+        assert np.array_equal(serial.failure, forked.failure)
+        assert np.array_equal(serial.objective_values, forked.objective_values)
+
+    def test_batch_flag_validated(self):
+        with pytest.raises(ValueError, match="batch"):
+            run_sweep(
+                shrunk_spec("section8-hom"), [get_method("heur-l")],
+                BOUNDS, batch="yes",
+            )
+
+
+class TestKernelBitIdentity:
+    """batch_heuristic_best against the per-row heuristic_best loop."""
+
+    @pytest.mark.parametrize("which", ["heur-l", "heur-p", "both"])
+    @pytest.mark.parametrize("scenario", ["section8-hom", "unreliable-links"])
+    def test_matches_per_row_loop(self, scenario, which):
+        ensemble = generate_ensemble(shrunk_spec(scenario), seed=11)
+        solved, failure, values = batch_heuristic_best(
+            ensemble, BOUNDS, which=which
+        )
+        for i, (chain, platform) in enumerate(ensemble):
+            for pt, (P, L) in enumerate(BOUNDS):
+                res = heuristic_best(
+                    chain, platform, max_period=P, max_latency=L,
+                    which=which, selection="feasible-best",
+                )
+                assert bool(solved[i, pt]) == res.feasible
+                assert float(failure[i, pt]) == res.failure_probability
+                assert float(values[i, pt]) == res.objective_value("reliability")
+
+    def test_rows_subset(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-hom"), seed=3)
+        full = batch_heuristic_best(ensemble, BOUNDS)
+        part = batch_heuristic_best(ensemble, BOUNDS, rows=[2, 0])
+        for whole, sub in zip(full, part):
+            assert np.array_equal(sub[0], whole[2])
+            assert np.array_equal(sub[1], whole[0])
+
+    def test_empty_rows(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-hom"), seed=3)
+        solved, failure, values = batch_heuristic_best(ensemble, BOUNDS, rows=[])
+        assert solved.shape == failure.shape == values.shape == (0, len(BOUNDS))
+
+    def test_unsupported_shapes_raise(self):
+        het = generate_ensemble(shrunk_spec("high-heterogeneity"), seed=5)
+        hom = generate_ensemble(shrunk_spec("section8-hom"), seed=5)
+        with pytest.raises(BatchUnsupported, match="homogeneous"):
+            batch_heuristic_best(het, BOUNDS)
+        with pytest.raises(BatchUnsupported, match="objective"):
+            batch_heuristic_best(hom, BOUNDS, objective="period")
+        with pytest.raises(BatchUnsupported, match="floor"):
+            batch_heuristic_best(hom, BOUNDS, min_reliability=0.5)
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            batch_heuristic_best(hom, BOUNDS, which="heur-x")
+        with pytest.raises(ValueError, match="unknown heuristic"):
+            heuristic_solve_batch("heur-x")
+
+    def test_scaling_stress_variants(self):
+        # Tuple-axis specs expand to differently-shaped ensembles; the
+        # kernel must hold on each variant independently.
+        spec = get_scenario("scaling-stress").spec.with_(n_instances=2)
+        for ensemble in generate_ensembles(spec, seed=7):
+            solved, failure, values = batch_heuristic_best(
+                ensemble, BOUNDS[:2], which="heur-p"
+            )
+            for i, (chain, platform) in enumerate(ensemble):
+                for pt, (P, L) in enumerate(BOUNDS[:2]):
+                    res = heuristic_best(
+                        chain, platform, max_period=P, max_latency=L,
+                        which="heur-p", selection="feasible-best",
+                    )
+                    assert float(failure[i, pt]) == res.failure_probability
+                    assert float(values[i, pt]) == res.objective_value(
+                        "reliability"
+                    )
+
+
+class TestMethodCapability:
+    def test_builtin_heuristics_declare_solve_batch(self):
+        for name in ("heur-l", "heur-p", "heuristic"):
+            assert get_method(name).solve_batch is not None
+        for name in ("dp-period", "anneal", "heur-l-paper"):
+            assert get_method(name).solve_batch is None
+
+    def test_fingerprint_covers_solve_batch(self):
+        base = get_method("heur-l")
+        stripped = Method(
+            name=base.name, solve=base.solve,
+            exact=base.exact, homogeneous_only=base.homogeneous_only,
+        )
+        assert base.fingerprint() != stripped.fingerprint()
+
+    def test_solve_batch_closure_matches_kernel(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-hom"), seed=2)
+        via_method = get_method("heur-p").solve_batch(ensemble, BOUNDS)
+        direct = batch_heuristic_best(ensemble, BOUNDS, which="heur-p")
+        for a, b in zip(via_method, direct):
+            assert np.array_equal(a, b)

@@ -107,10 +107,16 @@ class TestOrderingAndRecords:
         assert json.loads(json.dumps(record)) == record
         assert record["scenario"] == "section8-het"
         assert set(record) == {
-            "scenario", "spec_hash", "objective", "selected", "skipped"
+            "scenario", "spec_hash", "objective", "selected", "batched",
+            "skipped",
         }
         assert record["objective"] == "reliability"
         assert all(set(s) == {"method", "reason"} for s in record["skipped"])
+        # Every batched-capable selected method is marked, nothing else.
+        assert record["batched"] == [
+            name for name in record["selected"]
+            if get_method(name).solve_batch is not None
+        ]
 
     def test_summary_mentions_every_method(self):
         text = plan_methods("section8-hom").summary()

@@ -44,11 +44,12 @@ class TestRoundTrip:
         assert np.array_equal(got[0], solved)
         # Floats survive JSON exactly (shortest-round-trip repr).
         assert np.array_equal(got[1], failure)
-        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1}
+        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1, "corrupt": 0}
 
     def test_miss_on_absent_key(self, cache):
         assert cache.get("cd" * 32, 2) is None
         assert cache.misses == 1
+        assert cache.corrupt == 0  # absent is a plain miss, not damage
 
 
 class TestKeyStability:
@@ -132,9 +133,32 @@ class TestCorruptionRecovery:
         path.write_text(garbage)
         assert cache.get(key, 2) is None  # treated as a miss ...
         assert not path.exists()  # ... and deleted
+        assert cache.misses == 1 and cache.corrupt == 1  # ... and counted
         cache.put(key, np.array([True, False]), np.array([0.25, 1.0]))
         got = cache.get(key, 2)  # recovery: rewritten entry reads back
         assert got is not None and got[0][0] and not got[0][1]
+        assert cache.corrupt == 1  # the healthy re-read adds nothing
+
+    def test_truncated_entry_counts_as_corrupt_not_plain_miss(self, cache):
+        """Regression: a damaged entry used to be indistinguishable from
+        an absent one — both only bumped ``misses``."""
+        key, path = self._one_entry(cache)
+        path.write_text(path.read_text()[:12])  # simulate interrupted write
+        assert cache.get(key, 2) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "puts": 1, "corrupt": 1,
+        }
+        # A lookup of a key that was never written stays corrupt-free.
+        assert cache.get("ef" * 32, 2) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 2, "puts": 1, "corrupt": 1,
+        }
+
+    def test_corrupt_record_lookup_counts_too(self, cache):
+        cache.put_record("12" * 32, {"kind": "grid-probe", "period": 4.0})
+        cache._path("12" * 32).write_text("{oops")
+        assert cache.get_record("12" * 32) is None
+        assert cache.corrupt == 1 and cache.misses == 1
 
     def test_corrupt_entry_heals_through_run_sweep(self, cache, instance):
         methods = [get_method("heur-l")]
@@ -144,6 +168,7 @@ class TestCorruptionRecovery:
         again = run_sweep([instance], methods, BOUNDS, cache=cache)
         assert np.array_equal(first.failure, again.failure)
         assert json.loads(entry.read_text())["repro_cache"] == CACHE_FORMAT
+        assert cache.stats()["corrupt"] == 1
 
 
 class TestWarmRunDoesNoWork:
@@ -164,7 +189,9 @@ class TestWarmRunDoesNoWork:
             first = run_sweep(suite, [counted], BOUNDS, cache=cache)
             n_units = len(suite)
             assert solve_calls["n"] == n_units * len(BOUNDS)
-            assert cache.stats() == {"hits": 0, "misses": n_units, "puts": n_units}
+            assert cache.stats() == {
+                "hits": 0, "misses": n_units, "puts": n_units, "corrupt": 0,
+            }
 
             second = run_sweep(suite, [counted], BOUNDS, cache=cache)
             assert solve_calls["n"] == n_units * len(BOUNDS)  # zero new solves
@@ -184,7 +211,7 @@ class TestWarmRunDoesNoWork:
         )
         suite = homogeneous_suite(n_instances=2, seed=21)
         run_sweep(suite, [local], BOUNDS, cache=cache)
-        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0}
+        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
 
     def test_infinite_bounds_are_cacheable(self, cache):
         """Unbounded sweeps (P or L = inf) must work with the cache on."""
@@ -211,58 +238,29 @@ class TestResolveCache:
         assert resolve_cache(tmp_path).root == tmp_path
 
 
-class TestLegacyMigration:
-    """Format-3 (pre-columnar) entries are found and migrated in place."""
+class TestLegacyPathRemoved:
+    """The one-release format-3 read path is gone: pre-columnar entries
+    simply miss (and sit inert on disk under keys that never match)."""
 
-    def _plant_legacy_entry(self, cache, chain, platform, failure):
-        from repro.experiments.cache import (
-            LEGACY_CACHE_FORMAT,
-            LEGACY_CACHE_VERSION,
-        )
-        from repro.solve.problem import encode_bound
+    def test_legacy_symbols_are_gone(self):
+        import repro.experiments.cache as cache_mod
 
-        method = get_method("heur-l")
-        legacy_key = content_hash(
-            {
-                "repro_cache": LEGACY_CACHE_FORMAT,
-                "repro_version": LEGACY_CACHE_VERSION,
-                "method": "heur-l",
-                "fingerprint": method.fingerprint(),
-                "seed": None,
-            },
-            Problem(chain, platform).content_hash(),
-            [[encode_bound(P), encode_bound(L)] for P, L in BOUNDS],
-        )
-        path = cache._path(legacy_key)
+        assert not hasattr(cache_mod, "LEGACY_CACHE_FORMAT")
+        assert not hasattr(cache_mod, "get_legacy_unit")
+        assert not hasattr(ResultCache, "get_legacy_unit")
+
+    def test_format3_entry_misses_and_recomputes(self, cache, instance):
+        chain, platform = instance
+        key = cache.unit_key("heur-l", problems(chain, platform))
+        # Plant a format-3-shaped payload under the format-4 key: the
+        # stale stamp must read as corrupt, not silently replay.
+        path = cache._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps({
-            "repro_cache": LEGACY_CACHE_FORMAT, "method": "heur-l",
-            "n_points": 2, "solved": [True, False], "failure": failure,
+            "repro_cache": 3, "method": "heur-l",
+            "n_points": 2, "solved": [True, False], "failure": [0.125, 1.0],
         }))
-        return legacy_key
-
-    def test_legacy_entry_replayed_and_migrated(self, cache, instance):
-        chain, platform = instance
-        # Distinctive planted arrays prove a replay, not a fresh solve.
-        self._plant_legacy_entry(cache, chain, platform, [0.125, 1.0])
-        sweep = run_sweep([instance], [get_method("heur-l")], BOUNDS, cache=cache)
-        assert cache.stats() == {"hits": 1, "misses": 1, "puts": 1}
-        assert np.array_equal(sweep.failure[0, :, 0], [0.125, 1.0])
-        # Reliability objective values reconstruct exactly as 1 - failure.
-        assert np.array_equal(sweep.objective_values[0, :, 0], [0.875, 0.0])
-
-        # The migrated entry now serves format-4 lookups directly.
-        warm = ResultCache(cache.root)
-        again = run_sweep([instance], [get_method("heur-l")], BOUNDS, cache=warm)
-        assert warm.stats() == {"hits": 1, "misses": 0, "puts": 0}
-        assert np.array_equal(again.failure, sweep.failure)
-
-    def test_legacy_path_skips_converse_objectives(self, cache, instance):
-        """Non-reliability units cannot reconstruct objective values
-        from a legacy entry, so they recompute."""
-        chain, platform = instance
-        assert cache.get_legacy_unit(
-            "heur-l",
-            {"objective": "period"},
-            BOUNDS,
-        ) is None
+        assert cache.get(key, 2) is None
+        assert cache.stats() == {
+            "hits": 0, "misses": 1, "puts": 0, "corrupt": 1,
+        }

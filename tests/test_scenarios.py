@@ -24,6 +24,7 @@ from repro.scenarios import (
     Uniform,
     UnknownScenarioError,
     distribution_from_value,
+    generate_ensemble,
     materialize_instances,
     get_scenario,
     load_spec,
@@ -447,18 +448,25 @@ class TestScenarioObject:
         assert dataclasses.is_dataclass(scenario)
 
 
-class TestDeprecatedGenerateInstances:
-    """generate_instances is a one-release materializing shim."""
+class TestGenerateInstancesRemoved:
+    """The deprecated generate_instances shim is gone after its
+    one-release window; materialize_instances is the object-level API."""
 
-    def test_warns_and_matches_materialize(self):
-        from repro.scenarios import generate_instances
+    def test_shim_is_gone(self):
+        import repro.scenarios
+        import repro.scenarios.generate as generate_mod
 
-        with pytest.warns(DeprecationWarning, match="generate_ensemble"):
-            legacy = generate_instances("section8-hom", n_instances=3, seed=8)
+        assert not hasattr(repro.scenarios, "generate_instances")
+        assert not hasattr(generate_mod, "generate_instances")
+        assert "generate_instances" not in repro.scenarios.__all__
+
+    def test_materialize_instances_matches_ensemble_rows(self):
+        ensemble = generate_ensemble("section8-hom", n_instances=3, seed=8)
         current = materialize_instances("section8-hom", n_instances=3, seed=8)
-        assert len(legacy) == len(current) == 3
-        for (lc, lp), (cc, cp) in zip(legacy, current):
-            assert lc == cc and lp == cp
+        assert len(current) == 3
+        for i, (chain, platform) in enumerate(current):
+            echain, eplatform = ensemble[i]
+            assert chain == echain and platform == eplatform
 
     def test_scenario_generate_is_quiet(self):
         # The registry convenience routes through the ensemble path

@@ -241,5 +241,11 @@ class TestDeprecationShims:
         original = get_method("heur-l")
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            replaced = register_method("heur-l", replace=True)(original.solve)
+            replaced = register_method(
+                "heur-l", replace=True, solve_batch=original.solve_batch
+            )(original.solve)
         assert replaced.fingerprint() == original.fingerprint()
+        # Dropping the batched capability is an identity change, so the
+        # fingerprint (a cache-key ingredient) must move with it.
+        stripped = register_method("heur-l", replace=True)(original.solve)
+        assert stripped.fingerprint() != original.fingerprint()
