@@ -17,7 +17,11 @@ Metrics:
   ratio; the columnar headline);
 * ``warm_us_per_unit`` — absolute warm lookup cost per work unit
   (loosely gated: wall time varies across CI hardware);
-* ``cold_units_per_s`` — informational solve throughput.
+* ``cold_units_per_s`` — informational solve throughput;
+* ``telemetry_overhead_ratio`` — warm 1000-instance sweep with an
+  active :mod:`repro.obs` collector over the same sweep with telemetry
+  disabled (best-of-3 each).  The observability contract is that spans
+  and counters stay within 5% of free on the hot path.
 
 Dual entry points: a pytest-benchmark test and a ``--json`` script mode
 for the benchmark-regression gate::
@@ -31,6 +35,7 @@ import time
 import numpy as np
 
 from repro.experiments import ResultCache, get_method, run_sweep
+from repro.obs import telemetry as obs
 from repro.scenarios import generate_ensemble
 
 try:
@@ -40,6 +45,7 @@ except ImportError:  # script mode: no pytest plumbing to bypass
         print(" ".join(str(p) for p in parts))
 
 N_INSTANCES = 60
+N_OVERHEAD_INSTANCES = 1000
 BOUNDS = [(150.0, 750.0), (250.0, 750.0), (400.0, 750.0)]
 
 #: Regression-gate metric names (see run_ensemble_sweep_bench).
@@ -60,13 +66,15 @@ def run_ensemble_sweep_bench() -> dict:
         # the batched-vs-looped ratio is bench_batch_solve's metric.
         cold = run_sweep(ensemble, methods, BOUNDS, cache=cache, batch=False)
         cold_seconds = time.perf_counter() - t0
-        assert cache.stats() == {"hits": 0, "misses": n_units, "puts": n_units, "corrupt": 0}
+        assert cache.stats() == {"hits": 0, "misses": n_units, "puts": n_units,
+                                 "corrupt": 0, "hit_rate": 0.0}
 
         warm_cache = ResultCache(tmp)
         t0 = time.perf_counter()
         warm = run_sweep(ensemble, methods, BOUNDS, cache=warm_cache)
         warm_seconds = time.perf_counter() - t0
-        assert warm_cache.stats() == {"hits": n_units, "misses": 0, "puts": 0, "corrupt": 0}
+        assert warm_cache.stats() == {"hits": n_units, "misses": 0, "puts": 0,
+                                      "corrupt": 0, "hit_rate": 1.0}
         assert np.array_equal(cold.solved, warm.solved)
         assert np.array_equal(cold.failure, warm.failure)
         assert np.array_equal(cold.objective_values, warm.objective_values)
@@ -76,9 +84,12 @@ def run_ensemble_sweep_bench() -> dict:
         # zero recomputation and identical arrays.
         mat_cache = ResultCache(tmp)
         materialized = run_sweep(ensemble.materialize(), methods, BOUNDS, cache=mat_cache)
-        assert mat_cache.stats() == {"hits": n_units, "misses": 0, "puts": 0, "corrupt": 0}
+        assert mat_cache.stats() == {"hits": n_units, "misses": 0, "puts": 0,
+                                     "corrupt": 0, "hit_rate": 1.0}
         assert np.array_equal(cold.solved, materialized.solved)
         assert np.array_equal(cold.failure, materialized.failure)
+
+    overhead_ratio = run_telemetry_overhead_bench()
 
     emit()
     emit(f"ensemble sweep, {N_INSTANCES} instances x {len(methods)} methods "
@@ -86,12 +97,53 @@ def run_ensemble_sweep_bench() -> dict:
     emit(f"cold: {cold_seconds:8.3f}s  ({n_units / cold_seconds:8.1f} units/s)")
     emit(f"warm: {warm_seconds:8.3f}s  ({warm_seconds / n_units * 1e6:8.1f} us/unit)")
     emit(f"warm speedup: {cold_seconds / warm_seconds:.1f}x")
+    emit(f"telemetry overhead (warm, {N_OVERHEAD_INSTANCES} instances): "
+         f"{overhead_ratio:.3f}x")
 
     return {
         "warm_speedup": cold_seconds / warm_seconds,
         "warm_us_per_unit": warm_seconds / n_units * 1e6,
         "cold_units_per_s": n_units / cold_seconds,
+        "telemetry_overhead_ratio": overhead_ratio,
     }
+
+
+def run_telemetry_overhead_bench() -> float:
+    """Warm-sweep seconds with a live collector over seconds without.
+
+    The warm path is where telemetry density peaks — every unit fires a
+    cache-hit counter inside the lookup span, with zero solve time to
+    hide behind — so it bounds the instrumentation cost everywhere
+    else.  Best-of-3 per leg to shed scheduler noise.
+    """
+    ensemble = generate_ensemble(
+        "section8-hom", n_instances=N_OVERHEAD_INSTANCES, seed=11)
+    methods = [get_method("heur-l")]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        run_sweep(ensemble, methods, BOUNDS, cache=cache)  # fill
+
+        def warm_leg(with_telemetry: bool) -> float:
+            best = float("inf")
+            for _ in range(3):
+                leg_cache = ResultCache(tmp)
+                if with_telemetry:
+                    with obs.collect():
+                        t0 = time.perf_counter()
+                        run_sweep(ensemble, methods, BOUNDS, cache=leg_cache)
+                        best = min(best, time.perf_counter() - t0)
+                else:
+                    t0 = time.perf_counter()
+                    run_sweep(ensemble, methods, BOUNDS, cache=leg_cache)
+                    best = min(best, time.perf_counter() - t0)
+            return best
+
+        warm_leg(False)  # touch every cache file once before timing
+        disabled = warm_leg(False)
+        enabled = warm_leg(True)
+
+    return enabled / disabled
 
 
 def test_ensemble_sweep_throughput(benchmark):
@@ -100,6 +152,9 @@ def test_ensemble_sweep_throughput(benchmark):
     # point of deriving keys from row digests.  10x is a very loose
     # floor; typical ratios are in the hundreds.
     assert metrics["warm_speedup"] > 10.0
+    # The observability acceptance gate: spans + counters must stay
+    # within 5% of telemetry-disabled on a warm 1000-instance sweep.
+    assert metrics["telemetry_overhead_ratio"] <= 1.05
 
     ensemble = generate_ensemble("section8-hom", n_instances=10, seed=11)
     methods = [get_method("heur-l")]

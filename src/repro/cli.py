@@ -43,6 +43,15 @@ Commands
     The scenario-aware solver planner: ``plan show NAME_OR_FILE``
     prints which registered methods the planner selects for a
     workload, in execution order, and why it skipped the rest.
+``runs``
+    The run ledger (:mod:`repro.obs`): every ``scenario run`` /
+    ``experiment`` invocation writes ``runs/<run_id>/{manifest.json,
+    per_unit.jsonl, report.md}``; ``runs list`` tabulates them,
+    ``runs show RUN`` prints one run's report (or manifest with
+    ``--json``), and ``runs diff A B`` reports per-method objective
+    deltas, timing deltas, and cache/batch behavior changes between
+    two runs.  Run ids accept unique prefixes.  The ledger directory
+    defaults to ``$REPRO_RUNS_DIR``, then ``./runs``.
 ``demo``
     Solve a seeded random instance end to end — no files needed.
 
@@ -163,6 +172,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="where to write the run manifest JSON")
     experiment.add_argument("--quiet", action="store_true",
                             help="suppress the figure tables, print only the manifest path")
+    experiment.add_argument("--runs-dir", type=pathlib.Path, default=None,
+                            help="run-ledger directory (default $REPRO_RUNS_DIR or ./runs)")
+    experiment.add_argument("--timestamp", default=None, metavar="TAG",
+                            help="run_id timestamp tag (default: current UTC time; "
+                            "pin it for reproducible run ids)")
 
     scenario = sub.add_parser(
         "scenario", help="declarative workload scenarios (list/show/run)"
@@ -210,6 +224,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--manifest", type=pathlib.Path,
                      default=pathlib.Path("repro-scenario-manifest.json"),
                      help="where to write the self-describing run manifest JSON")
+    run.add_argument("--runs-dir", type=pathlib.Path, default=None,
+                     help="run-ledger directory (default $REPRO_RUNS_DIR or ./runs)")
+    run.add_argument("--timestamp", default=None, metavar="TAG",
+                     help="run_id timestamp tag (default: current UTC time; "
+                     "pin it for reproducible run ids)")
 
     plan = sub.add_parser(
         "plan", help="scenario-aware method planning (show)"
@@ -238,6 +257,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="auto-select stochastic (seeded) methods too")
     pshow.add_argument("--json", action="store_true",
                        help="print the plan as JSON instead of a table")
+
+    runs = sub.add_parser(
+        "runs", help="inspect the run ledger (list/show/diff)"
+    )
+    rsub = runs.add_subparsers(dest="runs_cmd", required=True)
+    rlist = rsub.add_parser("list", help="tabulate every complete ledger run")
+    rshow = rsub.add_parser(
+        "show", help="print one run's report (or its manifest with --json)"
+    )
+    rshow.add_argument("run", help="run_id or unique run_id prefix")
+    rdiff = rsub.add_parser(
+        "diff",
+        help="objective / timing / cache / batch-attribution deltas "
+        "between two runs (b minus a)",
+    )
+    rdiff.add_argument("a", help="baseline run_id or unique prefix")
+    rdiff.add_argument("b", help="comparison run_id or unique prefix")
+    for sp in (rlist, rshow, rdiff):
+        sp.add_argument("--runs-dir", type=pathlib.Path, default=None,
+                        help="run-ledger directory (default $REPRO_RUNS_DIR or ./runs)")
+        sp.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
 
     demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
     demo.add_argument("--tasks", type=int, default=10)
@@ -344,6 +385,39 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _run_timestamp(args) -> str:
+    """The run_id timestamp tag: ``--timestamp`` or the current UTC time."""
+    import time
+
+    tag = getattr(args, "timestamp", None)
+    return tag if tag else time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+
+
+def _series_record(sweep, prefix: str = "") -> dict:
+    """Per-method manifest series of one sweep (counts, failures,
+    objective quantiles per grid point) — the record ``runs diff``
+    compares across runs.  *prefix* namespaces method names when one
+    manifest aggregates several sweeps."""
+    import numpy as np
+
+    return {
+        prefix + name: {
+            "counts": [int(c) for c in sweep.counts(name)],
+            "avg_failure": [
+                None if np.isnan(v) else float(v)
+                for v in sweep.average_failure(name, rule="per-method")
+            ],
+            "objective_quantiles": {
+                f"p{round(q * 100)}": [
+                    float(v) if np.isfinite(v) else None for v in row
+                ]
+                for q, row in zip((0.1, 0.5, 0.9), sweep.objective_quantiles(name))
+            },
+        }
+        for name in sweep.method_names
+    }
+
+
 def _cmd_experiment(args) -> int:
     import platform as _platform
     import time
@@ -354,6 +428,8 @@ def _cmd_experiment(args) -> int:
     from repro.experiments.figures import EXPERIMENTS, run_experiment, run_figure
     from repro.experiments.harness import resolve_jobs
     from repro.experiments.report import render_figure
+    from repro.obs import run_id_for, write_run
+    from repro.obs import telemetry as obs
 
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     for exp_id in wanted:
@@ -366,9 +442,11 @@ def _cmd_experiment(args) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
     cache = resolve_cache(args.cache_dir)
+    timestamp = _run_timestamp(args)
 
     manifest: dict = {
         "command": "experiment",
+        "timestamp": timestamp,
         "experiments": wanted,
         "seed": args.seed,
         "jobs": jobs,
@@ -381,49 +459,89 @@ def _cmd_experiment(args) -> int:
         },
         "runs": [],
     }
+    series: dict = {}
+    unit_events: list[dict] = []
+    batch_units = 0
+    seconds: dict = {}
     t0 = time.perf_counter()
-    for exp_id in wanted:
-        start = time.perf_counter()
-        exp = run_experiment(
-            exp_id,
-            n_instances=args.instances,
-            grid=args.grid,
-            seed=args.seed,
-            exact_method=args.exact,
-            jobs=jobs,
-            cache=cache,
-        )
-        elapsed = time.perf_counter() - start
-        spec = exp.spec
-        manifest["runs"].append(
-            {
-                "experiment": exp_id,
-                "n_instances": exp.n_instances,
-                "grid": exp.grid,
-                "figures": [spec.count_figure, spec.failure_figure],
-                "methods": sorted(
-                    {n for sweep in exp.sweeps.values() for n in sweep.method_names}
-                ),
-                "n_points": int(exp.xs.size),
-                "seconds": round(elapsed, 3),
-                # The declarative workload behind the run, so the
-                # manifest is self-describing: spec content hash (the
-                # cache-key scenario component) plus the registry-style
-                # describe() record.
-                "scenario": _scenario_record(exp.scenario_spec, exp.scenario_key),
-                # How the paper-methods candidate set survived the
-                # planner's gates (selection is derived, not hard-coded).
-                "plan": exp.plan.describe() if exp.plan is not None else None,
-            }
-        )
-        if not args.quiet:
-            for fig in (spec.count_figure, spec.failure_figure):
-                print(render_figure(run_figure(fig, experiment_result=exp)))
-                print()
-    manifest["seconds"] = round(time.perf_counter() - t0, 3)
+    with obs.collect() as tele:
+        for exp_id in wanted:
+            start = time.perf_counter()
+            exp = run_experiment(
+                exp_id,
+                n_instances=args.instances,
+                grid=args.grid,
+                seed=args.seed,
+                exact_method=args.exact,
+                jobs=jobs,
+                cache=cache,
+            )
+            elapsed = time.perf_counter() - start
+            spec = exp.spec
+            exp_batch = sum(s.batch_units for s in exp.sweeps.values())
+            batch_units += exp_batch
+            for skey in sorted(exp.sweeps):
+                sweep = exp.sweeps[skey]
+                # Namespaced per experiment and suite so het runs' two
+                # sweeps (and multi-experiment manifests) never collide.
+                series.update(_series_record(sweep, prefix=f"{exp_id}:{skey}:"))
+                for event in sweep.unit_events:
+                    unit_events.append(
+                        {"experiment": exp_id, "suite": skey, **event}
+                    )
+            seconds[exp_id] = round(elapsed, 3)
+            manifest["runs"].append(
+                {
+                    "experiment": exp_id,
+                    "n_instances": exp.n_instances,
+                    "grid": exp.grid,
+                    "figures": [spec.count_figure, spec.failure_figure],
+                    "methods": sorted(
+                        {n for sweep in exp.sweeps.values() for n in sweep.method_names}
+                    ),
+                    "n_points": int(exp.xs.size),
+                    "seconds": round(elapsed, 3),
+                    "batch_units": exp_batch,
+                    "timings": {
+                        skey: {k: round(v, 6) for k, v in exp.sweeps[skey].timings.items()}
+                        for skey in sorted(exp.sweeps)
+                    },
+                    # The declarative workload behind the run, so the
+                    # manifest is self-describing: spec content hash (the
+                    # cache-key scenario component) plus the registry-style
+                    # describe() record.
+                    "scenario": _scenario_record(exp.scenario_spec, exp.scenario_key),
+                    # How the paper-methods candidate set survived the
+                    # planner's gates (selection is derived, not hard-coded).
+                    "plan": exp.plan.describe() if exp.plan is not None else None,
+                }
+            )
+            if not args.quiet:
+                for fig in (spec.count_figure, spec.failure_figure):
+                    print(render_figure(run_figure(fig, experiment_result=exp)))
+                    print()
+    seconds["total"] = round(time.perf_counter() - t0, 3)
+    manifest["seconds"] = seconds
+    manifest["series"] = series
+    manifest["batch_units"] = batch_units
     manifest["cache"] = cache.stats() if cache is not None else None
+    manifest["telemetry"] = tele.snapshot()
+    run_id = run_id_for(
+        {
+            "command": "experiment",
+            "experiments": wanted,
+            "seed": args.seed,
+            "instances": args.instances,
+            "grid": args.grid,
+            "exact_method": args.exact,
+        },
+        timestamp,
+    )
+    manifest["run_id"] = run_id
+    run_dir = write_run(args.runs_dir, run_id, manifest, per_unit=unit_events)
     args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
     print(f"wrote manifest {args.manifest}")
+    print(f"ledger run {run_id} -> {run_dir}")
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses, {cache.puts} writes")
     return 0
@@ -518,6 +636,8 @@ def _cmd_scenario(args) -> int:
     import numpy as np
 
     from repro.experiments.cache import resolve_cache
+    from repro.obs import run_id_for, write_run
+    from repro.obs import telemetry as obs
     from repro.solve import Planner, derive_bounds_grid, encode_bound
 
     spec, entry = _resolve_scenario_token(args.scenario)
@@ -527,17 +647,21 @@ def _cmd_scenario(args) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
     spec_hash = scenario_hash(spec)
+    timestamp = _run_timestamp(args)
+    t_run = time.perf_counter()
+    collector = obs.Telemetry()
 
     # The scenario-aware planner picks and orders the methods —
     # explicitly requested ones still pass through its hard capability
     # gates, so e.g. an exact solver on a heterogeneous scenario (or a
     # reliability heuristic under --objective period) is skipped with a
     # recorded reason instead of crashing the sweep.
-    plan = Planner().plan(
-        entry if entry is not None and entry.spec == spec else spec,
-        methods=args.methods,
-        objective=args.objective,
-    )
+    with obs.collect(collector):
+        plan = Planner().plan(
+            entry if entry is not None and entry.spec == spec else spec,
+            methods=args.methods,
+            objective=args.objective,
+        )
     for skip in plan.skipped:
         if args.methods:
             print(f"note: skipping {skip.method}: {skip.reason}", file=sys.stderr)
@@ -567,13 +691,15 @@ def _cmd_scenario(args) -> int:
     cache = resolve_cache(args.cache_dir)
 
     grid_record = None
+    grid_seconds = 0.0
     if args.grid == "auto":
         t0 = time.perf_counter()
         try:
-            grid = derive_bounds_grid(
-                instances, n_points=args.grid_points, seed=args.seed,
-                cache=cache,
-            )
+            with obs.collect(collector):
+                grid = derive_bounds_grid(
+                    instances, n_points=args.grid_points, seed=args.seed,
+                    cache=cache,
+                )
         except ValueError as exc:
             raise SystemExit(str(exc))
         grid_seconds = time.perf_counter() - t0
@@ -596,17 +722,18 @@ def _cmd_scenario(args) -> int:
 
     t0 = time.perf_counter()
     try:
-        sweep = run_sweep(
-            instances,
-            methods,
-            bounds,
-            xs=xs,
-            jobs=args.jobs,
-            cache=cache,
-            scenario_key=spec_hash,
-            objective=args.objective,
-            min_reliability=args.min_reliability,
-        )
+        with obs.collect(collector):
+            sweep = run_sweep(
+                instances,
+                methods,
+                bounds,
+                xs=xs,
+                jobs=args.jobs,
+                cache=cache,
+                scenario_key=spec_hash,
+                objective=args.objective,
+                min_reliability=args.min_reliability,
+            )
     except ValueError as exc:
         raise SystemExit(str(exc))
     sweep_seconds = time.perf_counter() - t0
@@ -664,8 +791,21 @@ def _cmd_scenario(args) -> int:
                   f"vs {args.grid_axis} bound:")
             print(render_series_table(fig, x_label=args.grid_axis))
 
+    # Per-phase wall-clock (satellite of the run ledger): generation,
+    # grid derivation, the sweep, the whole command, and each method's
+    # attributed solve time from the sweep's per-unit events.
+    seconds = {
+        "generate": round(gen_seconds, 3),
+        "grid": round(grid_seconds, 3),
+        "sweep": round(sweep_seconds, 3),
+        "total": round(time.perf_counter() - t_run, 3),
+    }
+    for name, value in sorted(sweep.method_seconds().items()):
+        seconds[f"solve[{name}]"] = round(value, 6)
+
     manifest = {
         "command": "scenario-run",
+        "timestamp": timestamp,
         "scenario": _scenario_record(spec, spec_hash, entry),
         "seed": args.seed,
         "n_instances": n,
@@ -674,37 +814,40 @@ def _cmd_scenario(args) -> int:
         "plan": plan.describe(),
         "grid": grid_record,
         "points": [[encode_bound(P), encode_bound(L)] for P, L in bounds],
-        "series": {
-            name: {
-                "counts": [int(c) for c in sweep.counts(name)],
-                "avg_failure": [
-                    None if np.isnan(v) else float(v)
-                    for v in sweep.average_failure(name, rule="per-method")
-                ],
-                "objective_quantiles": {
-                    f"p{round(q * 100)}": [
-                        float(v) if np.isfinite(v) else None for v in row
-                    ]
-                    for q, row in zip(
-                        (0.1, 0.5, 0.9), sweep.objective_quantiles(name)
-                    )
-                },
-            }
-            for name in sweep.method_names
-        },
-        "seconds": {
-            "generate": round(gen_seconds, 3),
-            "sweep": round(sweep_seconds, 3),
-        },
+        "series": _series_record(sweep),
+        "seconds": seconds,
+        "batch_units": sweep.batch_units,
+        "timings": {k: round(v, 6) for k, v in sweep.timings.items()},
         "cache": cache.stats() if cache is not None else None,
+        "telemetry": collector.snapshot(),
         "versions": {
             "repro": __version__,
             "numpy": np.__version__,
             "python": _platform.python_version(),
         },
     }
+    run_id = run_id_for(
+        {
+            "command": "scenario-run",
+            "scenario": spec_hash,
+            "seed": args.seed,
+            "n_instances": n,
+            "methods": list(plan.selected),
+            "objective": args.objective,
+            "min_reliability": args.min_reliability,
+            "grid": {
+                "mode": args.grid,
+                "axis": args.grid_axis,
+                "points": args.grid_points,
+            },
+        },
+        timestamp,
+    )
+    manifest["run_id"] = run_id
+    run_dir = write_run(args.runs_dir, run_id, manifest, per_unit=sweep.unit_events)
     args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
     print(f"\nwrote manifest {args.manifest}")
+    print(f"ledger run {run_id} -> {run_dir}")
     return 0
 
 
@@ -731,6 +874,53 @@ def _cmd_plan(args) -> int:
         print(json.dumps(plan.describe(), indent=2))
     else:
         print(plan.summary())
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    from repro.obs import diff_runs, list_runs, load_run, render_diff, resolve_runs_dir
+
+    if args.runs_cmd == "list":
+        rows = list_runs(args.runs_dir)
+        if args.json:
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print(f"no runs under {resolve_runs_dir(args.runs_dir)}")
+            return 0
+        header = (
+            f"{'run_id':32s} {'command':13s} {'scenario':18s} "
+            f"{'inst':>5s} {'seconds':>8s} {'cache h/m':>10s} {'batch':>6s}"
+        )
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            seconds = row["seconds"]
+            hits, misses = row["cache_hits"], row["cache_misses"]
+            print(
+                f"{row['run_id']:32s} {str(row['command'] or '-'):13s} "
+                f"{str(row['scenario'] or '-'):18s} "
+                f"{str(row['n_instances'] if row['n_instances'] is not None else '-'):>5s} "
+                f"{f'{seconds:.3f}' if isinstance(seconds, (int, float)) else '-':>8s} "
+                f"{(f'{hits}/{misses}' if hits is not None else '-'):>10s} "
+                f"{str(row['batch_units'] if row['batch_units'] is not None else '-'):>6s}"
+            )
+        return 0
+
+    try:
+        if args.runs_cmd == "show":
+            record = load_run(args.run, args.runs_dir)
+            if args.json:
+                print(json.dumps(record.manifest, indent=2, sort_keys=True))
+            else:
+                print(record.report, end="")
+            return 0
+        a = load_run(args.a, args.runs_dir)
+        b = load_run(args.b, args.runs_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    diff = diff_runs(a, b)
+    print(json.dumps(diff, indent=2) if args.json else render_diff(diff))
     return 0
 
 
@@ -766,6 +956,7 @@ COMMANDS = {
     "experiment": _cmd_experiment,
     "scenario": _cmd_scenario,
     "plan": _cmd_plan,
+    "runs": _cmd_runs,
     "demo": _cmd_demo,
 }
 

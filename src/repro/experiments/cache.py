@@ -75,6 +75,7 @@ import numpy as np
 
 from repro.core.ensemble import instance_digest
 from repro.io import content_hash
+from repro.obs import telemetry as obs
 from repro.solve.problem import Problem, encode_bound
 
 __all__ = [
@@ -257,15 +258,20 @@ class ResultCache:
     # -- lookup / store --------------------------------------------------
 
     def get(
-        self, key: str, n_points: int
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None] | None":
-        """Return ``(solved, failure, objective_values)``, or None on miss.
+        self, key: str, n_points: int, method_name: "str | None" = None
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None] | None":
+        """Return ``(solved, failure, objective_values, info)``, or None.
 
         ``objective_values`` is None for entries stored without them
-        (direct :meth:`put` calls).  A malformed entry (bad JSON, wrong
-        version, wrong length) counts as a miss *and* a
-        :attr:`corrupt` lookup, and is deleted so the recomputed unit
-        overwrites it.
+        (direct :meth:`put` calls); ``info`` is the per-unit solve
+        detail record (search probe counts, convergence) when the
+        entry stored one.  A malformed entry (bad JSON, wrong version,
+        wrong length) counts as a miss *and* a :attr:`corrupt` lookup,
+        and is deleted so the recomputed unit overwrites it.
+
+        *method_name* labels the telemetry counters
+        (``cache.hit[heur-l]``, ...) when a collector is installed —
+        the per-method cache breakdown run manifests report.
         """
         path = self._path(key)
         try:
@@ -273,23 +279,26 @@ class ResultCache:
             arrays = self._unit_arrays_from(payload, n_points)
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("cache.miss", label=method_name)
             return None
         except (ValueError, KeyError, TypeError, OSError):
             # Corrupted entry: recover by dropping it and recomputing.
             self.misses += 1
             self.corrupt += 1
+            obs.counter("cache.corrupt", label=method_name)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        obs.counter("cache.hit", label=method_name)
         return arrays
 
     @staticmethod
     def _unit_arrays_from(
         payload: dict, n_points: int
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None]":
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None]":
         if payload["repro_cache"] != CACHE_FORMAT:
             raise ValueError("cache format mismatch")
         solved = np.asarray(payload["solved"], dtype=bool)
@@ -304,7 +313,10 @@ class ResultCache:
             )
             if objective_values.shape != (n_points,):
                 raise ValueError("cache entry shape mismatch")
-        return solved, failure, objective_values
+        info = payload.get("info")
+        if info is not None and not isinstance(info, dict):
+            raise ValueError("cache entry info mismatch")
+        return solved, failure, objective_values, info
 
     def put(
         self,
@@ -313,28 +325,38 @@ class ResultCache:
         failure: np.ndarray,
         objective_values: "np.ndarray | None" = None,
         method_name: str = "",
+        info: "dict | None" = None,
     ) -> None:
-        """Store one unit's arrays atomically (temp file + rename)."""
-        self.put_record(
-            key,
-            {
-                "method": method_name,
-                "n_points": int(len(solved)),
-                "solved": [bool(s) for s in solved],
-                "failure": [float(f) for f in failure],
-                "objective_values": None
-                if objective_values is None
-                else [_encode_value(v) for v in objective_values],
-            },
-        )
+        """Store one unit's arrays atomically (temp file + rename).
+
+        *info* carries the unit's solve-detail record (search probe
+        totals, a convergence flag) when the method reported one, so a
+        warm run's ledger still attributes convergence per unit.
+        Entries without one omit the field entirely — the batched and
+        per-row paths keep writing byte-identical payloads for methods
+        that report no details.
+        """
+        record = {
+            "method": method_name,
+            "n_points": int(len(solved)),
+            "solved": [bool(s) for s in solved],
+            "failure": [float(f) for f in failure],
+            "objective_values": None
+            if objective_values is None
+            else [_encode_value(v) for v in objective_values],
+        }
+        if info is not None:
+            record["info"] = info
+        self.put_record(key, record)
 
     # -- generic records (grid probes) -----------------------------------
 
-    def get_record(self, key: str) -> "dict | None":
+    def get_record(self, key: str, method_name: "str | None" = None) -> "dict | None":
         """Return a JSON record stored by :meth:`put_record`, or None.
 
         Same recovery contract as :meth:`get`: malformed or
         wrong-format entries count as misses and are deleted.
+        *method_name* labels the telemetry counters like :meth:`get`.
         """
         path = self._path(key)
         try:
@@ -343,16 +365,19 @@ class ResultCache:
                 raise ValueError("cache format mismatch")
         except FileNotFoundError:
             self.misses += 1
+            obs.counter("cache.miss", label=method_name)
             return None
         except (ValueError, KeyError, TypeError, OSError):
             self.misses += 1
             self.corrupt += 1
+            obs.counter("cache.corrupt", label=method_name)
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
         self.hits += 1
+        obs.counter("cache.hit", label=method_name)
         return payload
 
     def put_record(self, key: str, record: dict) -> None:
@@ -380,13 +405,32 @@ class ResultCache:
     # -- bookkeeping -----------------------------------------------------
 
     def stats(self) -> dict:
-        """Counter snapshot for manifests and logs."""
+        """Counter snapshot for manifests and logs.
+
+        ``hit_rate`` is ``hits / (hits + misses)``, or None before any
+        lookup — manifests report it directly instead of every reader
+        re-deriving it.
+        """
+        lookups = self.hits + self.misses
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
             "corrupt": self.corrupt,
+            "hit_rate": self.hits / lookups if lookups else None,
         }
+
+    def reset(self) -> None:
+        """Zero the counters (entries on disk are untouched).
+
+        Lets one shared cache report per-phase stats: reset between a
+        cold and a warm leg and each leg's manifest sees only its own
+        lookups.
+        """
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

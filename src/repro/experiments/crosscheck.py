@@ -284,6 +284,8 @@ def run_crosscheck(
     jobs: "int | None" = None,
     scenario: "str | ScenarioSpec | Scenario | None" = None,
     objectives: bool = True,
+    runs_dir: "str | None" = None,
+    run_timestamp: "str | None" = None,
 ) -> CrosscheckReport:
     """Run the full validation chain over a random instance population.
 
@@ -325,6 +327,12 @@ def run_crosscheck(
         and running them out of scope would report false
         disagreements — heterogeneous scenarios raise ``ValueError``
         up front.
+    runs_dir:
+        When given, write the report to the run ledger
+        (:mod:`repro.obs.ledger`) under this directory: a manifest with
+        the aggregate counts plus one ``per_unit.jsonl`` line per
+        checked instance.  ``run_timestamp`` pins the run_id's
+        timestamp tag (defaults to the current UTC time).
     """
     from repro.experiments.harness import resolve_jobs
 
@@ -386,4 +394,60 @@ def run_crosscheck(
         report.simulation_outliers += record["simulation_outlier"]
         report.objective_disagreements += record["objective_disagreement"]
         report.details.extend(record["details"])
+
+    if runs_dir is not None:
+        import time
+
+        from repro.obs import run_id_for, write_run
+
+        scenario_name = None
+        if scenario is not None:
+            from repro.scenarios import resolve_scenario
+
+            scenario_name = resolve_scenario(scenario)[0].name
+        identity = {
+            "command": "crosscheck",
+            "seed": seed,
+            "n_instances": n_instances,
+            "n_tasks": n_tasks,
+            "p": p,
+            "simulate": simulate,
+            "objectives": objectives,
+            "scenario": scenario_name,
+        }
+        timestamp = run_timestamp or time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        manifest = {
+            **identity,
+            "timestamp": timestamp,
+            "scenario": scenario_name,
+            "clean": report.clean,
+            "summary": report.summary(),
+            "counts": {
+                "solver_disagreements": report.solver_disagreements,
+                "heuristic_violations": report.heuristic_violations,
+                "rbd_disagreements": report.rbd_disagreements,
+                "simulation_outliers": report.simulation_outliers,
+                "objective_disagreements": report.objective_disagreements,
+            },
+        }
+        per_unit = [
+            {
+                "instance": index,
+                "source": "check",
+                "clean": not any(
+                    record[flag]
+                    for flag in (
+                        "solver_disagreement",
+                        "heuristic_violation",
+                        "rbd_disagreement",
+                        "objective_disagreement",
+                    )
+                ),
+                **{key: value for key, value in record.items() if key != "details"},
+            }
+            for index, record in enumerate(records)
+        ]
+        write_run(
+            runs_dir, run_id_for(identity, timestamp), manifest, per_unit=per_unit
+        )
     return report

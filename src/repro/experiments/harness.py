@@ -79,8 +79,9 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -89,6 +90,7 @@ from repro.algorithms.batch import BatchUnsupported
 from repro.core.ensemble import Ensemble, InstanceView, ensembles_from_instances
 from repro.experiments.cache import ResultCache, resolve_cache
 from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
+from repro.obs import telemetry as obs
 from repro.solve.problem import Problem
 from repro.util.rng import stable_seed
 
@@ -127,6 +129,22 @@ class SweepResult:
         method carries one, the shapes were unsupported, batching was
         disabled, or every unit came from cache) — diagnostics only,
         the arrays are bit-identical either way.
+    timings:
+        Phase wall-clock breakdown of the sweep (``total``,
+        ``cache_lookup``, ``batch``, ``solve`` seconds) — structured
+        data the run ledger derives its timing records from.
+    unit_events:
+        One record per work unit, in deterministic ``(method,
+        instance)`` order: ``method``, ``instance`` (flat index),
+        ``source`` (``"cache"`` / ``"batch"`` / ``"parent"`` /
+        ``"worker"``), ``solved`` count, ``seconds`` where measured
+        (batch-served units carry the kernel group's amortized share
+        and ``batch_group``; cache hits carry ``None``), a
+        ``batch_fallback`` marker for units whose kernel raised
+        ``BatchUnsupported``, and — for search methods that report
+        them — per-unit ``probes`` totals and a ``converged`` flag.
+        This is the ledger's ``per_unit.jsonl``, derived from data
+        rather than log scraping.
     """
 
     xs: np.ndarray
@@ -136,6 +154,21 @@ class SweepResult:
     objective_values: "np.ndarray | None" = None
     objective: str = "reliability"
     batch_units: int = 0
+    timings: dict = field(default_factory=dict)
+    unit_events: list = field(default_factory=list)
+
+    def method_seconds(self) -> dict[str, float]:
+        """Measured per-method solve wall-clock, summed over units.
+
+        Cache-served units contribute nothing (they cost no solve);
+        batch-served units contribute their amortized kernel share.
+        """
+        out: dict[str, float] = {}
+        for event in self.unit_events:
+            seconds = event.get("seconds")
+            if seconds is not None:
+                out[event["method"]] = out.get(event["method"], 0.0) + seconds
+        return out
 
     def counts(self, method: str) -> np.ndarray:
         """Solutions found per sweep point (the Fig. 6-style series)."""
@@ -231,18 +264,26 @@ def _unit_arrays(
     seed: "int | None",
     objective: str,
     min_reliability: float,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, dict | None]":
     """Run one work unit: one method on one instance over all bounds.
 
     The single computation shared verbatim by the serial path and the
     worker processes — the reason ``jobs=1`` and ``jobs=N`` agree bit
     for bit.  Materializes the view's chain/platform here (and only
     here): cached units never reach this function.
+
+    Returns ``(solved, failure, objective_values, info)`` where *info*
+    aggregates the solve details search methods report — total
+    ``probes`` across the unit's points and a ``converged`` flag
+    (False when any point's search exhausted its budget) — or ``None``
+    for methods that report neither.
     """
     base = view.problem(objective=objective, min_reliability=min_reliability)
     solved = np.zeros(len(bounds), dtype=bool)
     failure = np.ones(len(bounds), dtype=float)
     objective_values = np.empty(len(bounds), dtype=float)
+    probes = 0
+    converged: "bool | None" = None
     for pi, problem in enumerate(_unit_problems(base, bounds)):
         res = method.solve_problem(
             problem, seed=stable_seed(seed, pi) if method.seeded else None
@@ -251,7 +292,17 @@ def _unit_arrays(
         if res.feasible:
             failure[pi] = res.evaluation.failure_probability
         objective_values[pi] = res.objective_value(objective)
-    return solved, failure, objective_values
+        details = res.details
+        if details:
+            probes += int(details.get("probes", 0) or 0)
+            if "converged" in details:
+                converged = bool(details["converged"]) and (converged is not False)
+    if probes == 0 and converged is None:
+        return solved, failure, objective_values, None
+    info: dict = {"probes": probes}
+    if converged is not None:
+        info["converged"] = converged
+    return solved, failure, objective_values, info
 
 
 def _solve_shard_payload(
@@ -262,7 +313,9 @@ def _solve_shard_payload(
     seeds: Sequence["int | None"],
     objective: str,
     min_reliability: float,
-) -> list[tuple[list[bool], list[float], list[float]]]:
+    try_batch: bool = True,
+    collect_telemetry: bool = False,
+) -> "tuple[list[tuple], dict | None]":
     """Worker-side entry point: rebuild a columnar shard and run its units.
 
     Module-level (picklable) and name-addressed: the worker resolves
@@ -275,6 +328,14 @@ def _solve_shard_payload(
     re-registered method), raise UnknownMethodError so the parent
     recomputes the shard itself instead of silently using the wrong
     solver.
+
+    Returns ``(unit_results, telemetry_snapshot)``.  Each unit result
+    is ``(solved, failure, objective_values, info, source, seconds)``
+    — plain lists/floats, so the payload pickles anywhere.  When
+    *collect_telemetry* is set (the parent has a collector installed),
+    the worker aggregates its own spans/counters into a snapshot the
+    parent merges; otherwise the snapshot is ``None`` and nothing is
+    collected.
     """
     method = get_method(method_name)
     if method.fingerprint() != fingerprint:
@@ -291,41 +352,60 @@ def _solve_shard_payload(
         link_failure_rate=shard["link_failure_rate"],
         max_replication=shard["max_replication"],
     )
-    if method.solve_batch is not None and all(s is None for s in seeds):
-        # The batched path covers the whole shard or none of it; a
-        # kernel that rejects the shape drops to the per-unit loop.
-        try:
-            solved, failure, objective_values = method.solve_batch(
-                ensemble,
-                bounds,
-                rows=list(range(len(seeds))),
-                objective=objective,
-                min_reliability=min_reliability,
-            )
-        except BatchUnsupported:
-            pass
-        else:
-            return [
-                (
-                    [bool(s) for s in solved[j]],
-                    [float(f) for f in failure[j]],
-                    [float(v) for v in objective_values[j]],
+
+    def run_units() -> "list[tuple]":
+        if try_batch and method.solve_batch is not None and all(s is None for s in seeds):
+            # The batched path covers the whole shard or none of it; a
+            # kernel that rejects the shape drops to the per-unit loop.
+            t0 = time.perf_counter()
+            try:
+                with obs.span("sweep.batch", label=method_name):
+                    solved, failure, objective_values = method.solve_batch(
+                        ensemble,
+                        bounds,
+                        rows=list(range(len(seeds))),
+                        objective=objective,
+                        min_reliability=min_reliability,
+                    )
+            except BatchUnsupported:
+                obs.counter("sweep.batch_unsupported", len(seeds), label=method_name)
+            else:
+                share = (time.perf_counter() - t0) / max(len(seeds), 1)
+                return [
+                    (
+                        [bool(s) for s in solved[j]],
+                        [float(f) for f in failure[j]],
+                        [float(v) for v in objective_values[j]],
+                        None,
+                        "batch",
+                        share,
+                    )
+                    for j in range(len(seeds))
+                ]
+        out = []
+        for j, seed in enumerate(seeds):
+            t0 = time.perf_counter()
+            with obs.span("sweep.unit", label=method_name):
+                solved, failure, objective_values, info = _unit_arrays(
+                    method, ensemble[j], bounds, seed, objective, min_reliability
                 )
-                for j in range(len(seeds))
-            ]
-    out = []
-    for j, seed in enumerate(seeds):
-        solved, failure, objective_values = _unit_arrays(
-            method, ensemble[j], bounds, seed, objective, min_reliability
-        )
-        out.append(
-            (
-                [bool(s) for s in solved],
-                [float(f) for f in failure],
-                [float(v) for v in objective_values],
+            out.append(
+                (
+                    [bool(s) for s in solved],
+                    [float(f) for f in failure],
+                    [float(v) for v in objective_values],
+                    info,
+                    "worker",
+                    time.perf_counter() - t0,
+                )
             )
-        )
-    return out
+        return out
+
+    if not collect_telemetry:
+        return run_units(), None
+    with obs.collect() as telemetry:
+        results = run_units()
+    return results, telemetry.snapshot()
 
 
 def _shard_payload(ensemble: Ensemble, rows: Sequence[int]) -> dict:
@@ -525,6 +605,9 @@ def run_sweep(
     jobs = resolve_jobs(jobs)
     store = resolve_cache(cache)
     bounds = [(float(P), float(L)) for P, L in bounds]
+    t_sweep = time.perf_counter()
+    timings: dict[str, float] = {}
+    unit_events: list[dict] = []
 
     def registered(method: Method) -> bool:
         # Registry-resolved methods are the ones addressable by name:
@@ -543,50 +626,88 @@ def run_sweep(
     )
 
     # Resolve cached units first; everything else becomes pending work.
+    t0 = time.perf_counter()
     pending: list[tuple[int, int, "int | None", "str | None"]] = []
-    for mi, method in enumerate(methods):
-        for ii, view in enumerate(views):
-            unit_seed = _unit_seed(method, view, bounds, objective, min_reliability)
-            key = None
-            if store is not None and registered(method):
-                key = store.unit_key_for(
-                    method.name,
-                    view.row_hash,
-                    bounds,
-                    seed=unit_seed,
-                    fingerprint=fingerprints[method.name],
-                    scenario=scenario_key,
-                    objective=objective,
-                    min_reliability=min_reliability,
-                )
-                hit = store.get(key, n_pts)
-                if hit is not None:
-                    unit_solved, unit_failure, unit_values = hit
-                    solved[mi, :, ii] = unit_solved
-                    failure[mi, :, ii] = unit_failure
-                    if unit_values is not None:
-                        objective_values[mi, :, ii] = unit_values
-                        continue
-                    # An entry without objective values (stored through
-                    # the bare put() API) cannot serve the new
-                    # aggregations; recompute it below.
-            pending.append((mi, ii, unit_seed, key))
+    with obs.span("sweep.cache_lookup"):
+        for mi, method in enumerate(methods):
+            for ii, view in enumerate(views):
+                unit_seed = _unit_seed(method, view, bounds, objective, min_reliability)
+                key = None
+                if store is not None and registered(method):
+                    key = store.unit_key_for(
+                        method.name,
+                        view.row_hash,
+                        bounds,
+                        seed=unit_seed,
+                        fingerprint=fingerprints[method.name],
+                        scenario=scenario_key,
+                        objective=objective,
+                        min_reliability=min_reliability,
+                    )
+                    hit = store.get(key, n_pts, method_name=method.name)
+                    if hit is not None:
+                        unit_solved, unit_failure, unit_values, unit_info = hit
+                        solved[mi, :, ii] = unit_solved
+                        failure[mi, :, ii] = unit_failure
+                        if unit_values is not None:
+                            objective_values[mi, :, ii] = unit_values
+                            event = {
+                                "method": method.name,
+                                "instance": ii,
+                                "source": "cache",
+                                "solved": int(unit_solved.sum()),
+                                "seconds": None,
+                            }
+                            if unit_info:
+                                event.update(unit_info)
+                            unit_events.append(event)
+                            obs.counter("sweep.units.cached", label=method.name)
+                            continue
+                        # An entry without objective values (stored
+                        # through the bare put() API) cannot serve the
+                        # new aggregations; recompute it below.
+                pending.append((mi, ii, unit_seed, key))
+    timings["cache_lookup"] = time.perf_counter() - t0
+
+    # The units whose batch kernel refused the shape: their per-row
+    # recomputation is a *fallback*, and the ledger says so.
+    fallback_units: set[tuple[int, int]] = set()
 
     def finish(mi: int, ii: int, key: "str | None",
                unit_solved: np.ndarray, unit_failure: np.ndarray,
-               unit_values: np.ndarray) -> None:
+               unit_values: np.ndarray, info: "dict | None" = None,
+               source: str = "parent", seconds: "float | None" = None,
+               batch_group: "int | None" = None) -> None:
         solved[mi, :, ii] = unit_solved
         failure[mi, :, ii] = unit_failure
         objective_values[mi, :, ii] = unit_values
         if store is not None and key is not None:
             store.put(key, unit_solved, unit_failure, unit_values,
-                      method_name=methods[mi].name)
+                      method_name=methods[mi].name, info=info)
+        event = {
+            "method": methods[mi].name,
+            "instance": ii,
+            "source": source,
+            "solved": int(np.asarray(unit_solved).sum()),
+            "seconds": seconds,
+        }
+        if batch_group is not None:
+            event["batch_group"] = batch_group
+        if (mi, ii) in fallback_units:
+            event["batch_fallback"] = True
+        if info:
+            event.update(info)
+        unit_events.append(event)
+        obs.counter(f"sweep.units.{source}", label=methods[mi].name)
 
     def run_local(unit: tuple) -> None:
         mi, ii, unit_seed, key = unit
-        finish(mi, ii, key, *_unit_arrays(
-            methods[mi], views[ii], bounds, unit_seed, objective, min_reliability
-        ))
+        t0 = time.perf_counter()
+        with obs.span("sweep.unit", label=methods[mi].name):
+            arrays = _unit_arrays(
+                methods[mi], views[ii], bounds, unit_seed, objective, min_reliability
+            )
+        finish(mi, ii, key, *arrays, seconds=time.perf_counter() - t0)
 
     # Flat unit index -> (owning ensemble, row within it).
     ensemble_of: list[int] = []
@@ -600,6 +721,7 @@ def run_sweep(
     # per-row concept), and a kernel that rejects the shape leaves its
     # group pending for the per-row machinery below.
     batch_units = 0
+    t0 = time.perf_counter()
     if batch in (True, "auto"):
         groups: dict[tuple[int, int], list[tuple]] = {}
         for unit in pending:
@@ -608,27 +730,37 @@ def run_sweep(
                 groups.setdefault((mi, ensemble_of[ii]), []).append(unit)
         served: set[tuple] = set()
         for (mi, ei), units in groups.items():
+            t_group = time.perf_counter()
             try:
-                group_solved, group_failure, group_values = methods[mi].solve_batch(
-                    ensembles[ei],
-                    bounds,
-                    rows=[row_of[u[1]] for u in units],
-                    objective=objective,
-                    min_reliability=min_reliability,
-                )
+                with obs.span("sweep.batch", label=methods[mi].name):
+                    group_solved, group_failure, group_values = methods[mi].solve_batch(
+                        ensembles[ei],
+                        bounds,
+                        rows=[row_of[u[1]] for u in units],
+                        objective=objective,
+                        min_reliability=min_reliability,
+                    )
             except BatchUnsupported:
+                # Attribution: these units now fall back to the
+                # per-row machinery below, and the ledger records it.
+                fallback_units.update((u[0], u[1]) for u in units)
+                obs.counter("sweep.batch_unsupported", len(units),
+                            label=methods[mi].name)
                 continue
+            share = (time.perf_counter() - t_group) / max(len(units), 1)
             for r, unit in enumerate(units):
                 finish(
                     unit[0], unit[1], unit[3],
                     np.asarray(group_solved[r], dtype=bool),
                     np.asarray(group_failure[r], dtype=float),
                     np.asarray(group_values[r], dtype=float),
+                    source="batch", seconds=share, batch_group=len(units),
                 )
                 served.add(unit)
             batch_units += len(units)
         if served:
             pending = [u for u in pending if u not in served]
+    timings["batch"] = time.perf_counter() - t0
 
     # Expensive methods first: with a shared pool, a 10x-cost ILP unit
     # submitted last would serialize the tail of the run.
@@ -643,6 +775,7 @@ def run_sweep(
     remote_set = set(remote)
     local = [u for u in pending if u not in remote_set]
 
+    t0 = time.perf_counter()
     if not remote:
         for unit in local:
             run_local(unit)
@@ -663,6 +796,7 @@ def run_sweep(
                 open_shards[group] = shard
             shard.append(unit)
 
+        collect_telemetry = obs.active() is not None
         with ProcessPoolExecutor(max_workers=min(jobs, len(shards))) as pool:
             futures = {}
             for shard in shards:
@@ -677,6 +811,8 @@ def run_sweep(
                     [u[2] for u in shard],
                     objective,
                     min_reliability,
+                    batch in (True, "auto"),
+                    collect_telemetry,
                 )
                 futures[fut] = shard
             # The parent works through its own (unpicklable) units while
@@ -689,7 +825,7 @@ def run_sweep(
                 for fut in done:
                     shard = futures[fut]
                     try:
-                        results = fut.result()
+                        results, worker_telemetry = fut.result()
                     except UnknownMethodError:
                         # Spawn-start workers re-import the registry
                         # and may miss (or re-bind) methods registered
@@ -698,12 +834,29 @@ def run_sweep(
                         for unit in shard:
                             run_local(unit)
                         continue
+                    active = obs.active()
+                    if active is not None:
+                        active.merge(worker_telemetry)
                     for (mi, ii, _unit_seed_, key), unit_result in zip(shard, results):
-                        unit_solved, unit_failure, unit_values = unit_result
+                        (unit_solved, unit_failure, unit_values,
+                         unit_info, source, unit_seconds) = unit_result
+                        if source == "batch":
+                            batch_units += 1
                         finish(mi, ii, key,
                                np.asarray(unit_solved, dtype=bool),
                                np.asarray(unit_failure, dtype=float),
-                               np.asarray(unit_values, dtype=float))
+                               np.asarray(unit_values, dtype=float),
+                               info=unit_info,
+                               source="batch" if source == "batch" else "worker",
+                               seconds=unit_seconds,
+                               batch_group=len(shard) if source == "batch" else None)
+    timings["solve"] = time.perf_counter() - t0
+    timings["total"] = time.perf_counter() - t_sweep
+
+    # Worker completion order is nondeterministic; the ledger's
+    # per-unit record is not.
+    method_order = {m.name: mi for mi, m in enumerate(methods)}
+    unit_events.sort(key=lambda e: (method_order[e["method"]], e["instance"]))
 
     return SweepResult(
         xs=xs_arr,
@@ -713,4 +866,6 @@ def run_sweep(
         objective_values=objective_values,
         objective=objective,
         batch_units=batch_units,
+        timings={k: float(v) for k, v in timings.items()},
+        unit_events=unit_events,
     )

@@ -35,6 +35,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.ensemble import Ensemble, ensembles_from_instances
+from repro.obs import telemetry as obs
 from repro.solve.facade import solve
 
 __all__ = ["BoundsGrid", "derive_bounds_grid"]
@@ -196,10 +197,10 @@ def derive_bounds_grid(
         key = None
         if store is not None and registered is not None:
             key = store.probe_key_for(method, view.row_hash, fingerprint)
-            record = store.get_record(key)
+            record = store.get_record(key, method_name=method)
             if record is not None:
                 try:
-                    return (
+                    feasible, period, latency = (
                         bool(record["feasible"]),
                         float(record["period"]),
                         float(record["latency"]),
@@ -208,6 +209,10 @@ def derive_bounds_grid(
                     # Malformed probe record (same recovery contract as
                     # ResultCache.get): recompute and overwrite below.
                     pass
+                else:
+                    obs.counter("grid.probe.cached", label=method)
+                    return feasible, period, latency
+        obs.counter("grid.probe.solved", label=method)
         result = solve(view.problem(), method=method)
         if result.feasible:
             ev = result.evaluation
@@ -233,22 +238,24 @@ def derive_bounds_grid(
 
     hi_periods, hi_latencies = [], []
     lo_periods, lo_latencies = [], []
-    for ensemble in ensembles:
-        # Analytic lower bounds, vectorized over the ensemble columns:
-        # some interval holds the heaviest task (period), and every
-        # task executes somewhere along the chain (latency) — no
-        # mapping beats the fastest processor on either.  No objects.
-        s_max = ensemble.speeds.max(axis=1)
-        ens_lo_periods = ensemble.work.max(axis=1) / s_max
-        ens_lo_latencies = ensemble.work.sum(axis=1) / s_max
-        for view, lo_p, lo_l in zip(ensemble, ens_lo_periods, ens_lo_latencies):
-            feasible, period, latency = probe(view)
-            if not feasible:  # pragma: no cover - unbounded heuristics map
-                continue
-            hi_periods.append(period)
-            hi_latencies.append(latency)
-            lo_periods.append(float(lo_p))
-            lo_latencies.append(float(lo_l))
+    with obs.span("grid.derive", label=method):
+        for ensemble in ensembles:
+            # Analytic lower bounds, vectorized over the ensemble
+            # columns: some interval holds the heaviest task (period),
+            # and every task executes somewhere along the chain
+            # (latency) — no mapping beats the fastest processor on
+            # either.  No objects.
+            s_max = ensemble.speeds.max(axis=1)
+            ens_lo_periods = ensemble.work.max(axis=1) / s_max
+            ens_lo_latencies = ensemble.work.sum(axis=1) / s_max
+            for view, lo_p, lo_l in zip(ensemble, ens_lo_periods, ens_lo_latencies):
+                feasible, period, latency = probe(view)
+                if not feasible:  # pragma: no cover - unbounded heuristics map
+                    continue
+                hi_periods.append(period)
+                hi_latencies.append(latency)
+                lo_periods.append(float(lo_p))
+                lo_latencies.append(float(lo_l))
     if not hi_periods:  # pragma: no cover - defensive
         raise ValueError(
             f"method {method!r} solved no instance even unbounded; "

@@ -49,6 +49,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from repro.obs import telemetry as obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.methods import Method
 
@@ -229,16 +231,18 @@ class Planner:
 
         selected: list[Method] = []
         skipped: list[MethodSkip] = []
-        for method in candidates:
-            reason = self._skip_reason(
-                method, homogeneous=homogeneous, paired=spec.paired,
-                n_tasks=n_tasks, n_procs=n_procs, explicit=explicit,
-                objective=objective,
-            )
-            if reason is None:
-                selected.append(method)
-            else:
-                skipped.append(MethodSkip(method.name, reason))
+        with obs.span("planner.plan", label=spec.name):
+            for method in candidates:
+                reason = self._skip_reason(
+                    method, homogeneous=homogeneous, paired=spec.paired,
+                    n_tasks=n_tasks, n_procs=n_procs, explicit=explicit,
+                    objective=objective,
+                )
+                if reason is None:
+                    selected.append(method)
+                else:
+                    skipped.append(MethodSkip(method.name, reason))
+                    obs.counter("planner.skip", label=method.name)
 
         # Expensive-first: the same order the harness submits units in,
         # so a plan's listing is also its schedule.
@@ -258,7 +262,9 @@ class Planner:
                             f"(cost_hint {keep.cost_hint:g} vs {m.cost_hint:g}) "
                             f"proves the same optimum",
                         ))
+                        obs.counter("planner.skip", label=m.name)
 
+        obs.counter("planner.selected", len(selected))
         return Plan(
             scenario=spec.name,
             spec_hash=scenario_hash(spec),

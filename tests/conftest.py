@@ -1,0 +1,14 @@
+"""Shared test fixtures.
+
+Every ``repro scenario run`` / ``repro experiment`` invocation writes a
+run-ledger directory (``$REPRO_RUNS_DIR``, default ``./runs``) — point
+it at a per-test temporary directory so CLI tests never litter the
+working tree, and so each test observes only its own runs.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))

@@ -280,14 +280,20 @@ class TestSweepBitIdentity:
 
         cold = ResultCache(tmp_path)
         columnar = run_sweep(ensemble, methods, self.BOUNDS, cache=cold)
-        assert cold.stats() == {"hits": 0, "misses": n_units, "puts": n_units, "corrupt": 0}
+        assert cold.stats() == {
+            "hits": 0, "misses": n_units, "puts": n_units, "corrupt": 0,
+            "hit_rate": 0.0,
+        }
 
         warm = ResultCache(tmp_path)
         materialized = run_sweep(
             ensemble.materialize(), methods, self.BOUNDS, cache=warm
         )
         # Zero misses: the materialized twin derived the very same keys.
-        assert warm.stats() == {"hits": n_units, "misses": 0, "puts": 0, "corrupt": 0}
+        assert warm.stats() == {
+            "hits": n_units, "misses": 0, "puts": 0, "corrupt": 0,
+            "hit_rate": 1.0,
+        }
         assert np.array_equal(columnar.solved, materialized.solved)
         assert np.array_equal(columnar.failure, materialized.failure)
         assert np.array_equal(

@@ -44,12 +44,41 @@ class TestRoundTrip:
         assert np.array_equal(got[0], solved)
         # Floats survive JSON exactly (shortest-round-trip repr).
         assert np.array_equal(got[1], failure)
-        assert cache.stats() == {"hits": 1, "misses": 0, "puts": 1, "corrupt": 0}
+        assert cache.stats() == {
+            "hits": 1, "misses": 0, "puts": 1, "corrupt": 0, "hit_rate": 1.0,
+        }
 
     def test_miss_on_absent_key(self, cache):
         assert cache.get("cd" * 32, 2) is None
         assert cache.misses == 1
         assert cache.corrupt == 0  # absent is a plain miss, not damage
+
+    def test_info_round_trips_and_defaults_none(self, cache):
+        solved = np.array([True])
+        failure = np.array([0.5])
+        cache.put("aa" * 32, solved, failure, info={"probes": 7, "converged": True})
+        cache.put("bb" * 32, solved, failure)
+        assert cache.get("aa" * 32, 1)[3] == {"probes": 7, "converged": True}
+        assert cache.get("bb" * 32, 1)[3] is None
+        # Entries without info omit the field entirely (byte-identity of
+        # the batched and per-row write paths for detail-free methods).
+        assert "info" not in json.loads(cache._path("bb" * 32).read_text())
+
+    def test_hit_rate_and_reset(self, cache):
+        assert cache.stats()["hit_rate"] is None  # no lookups yet
+        cache.put("ab" * 32, np.array([True]), np.array([0.5]))
+        cache.get("ab" * 32, 1)
+        cache.get("cd" * 32, 1)
+        cache.get("ef" * 32, 1)
+        stats = cache.stats()
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+        cache.reset()
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "puts": 0, "corrupt": 0, "hit_rate": None,
+        }
+        # Entries survive a counter reset — only the stats are zeroed.
+        assert cache.get("ab" * 32, 1) is not None
+        assert cache.stats()["hit_rate"] == 1.0
 
 
 class TestKeyStability:
@@ -146,12 +175,12 @@ class TestCorruptionRecovery:
         path.write_text(path.read_text()[:12])  # simulate interrupted write
         assert cache.get(key, 2) is None
         assert cache.stats() == {
-            "hits": 0, "misses": 1, "puts": 1, "corrupt": 1,
+            "hits": 0, "misses": 1, "puts": 1, "corrupt": 1, "hit_rate": 0.0,
         }
         # A lookup of a key that was never written stays corrupt-free.
         assert cache.get("ef" * 32, 2) is None
         assert cache.stats() == {
-            "hits": 0, "misses": 2, "puts": 1, "corrupt": 1,
+            "hits": 0, "misses": 2, "puts": 1, "corrupt": 1, "hit_rate": 0.0,
         }
 
     def test_corrupt_record_lookup_counts_too(self, cache):
@@ -191,6 +220,7 @@ class TestWarmRunDoesNoWork:
             assert solve_calls["n"] == n_units * len(BOUNDS)
             assert cache.stats() == {
                 "hits": 0, "misses": n_units, "puts": n_units, "corrupt": 0,
+                "hit_rate": 0.0,
             }
 
             second = run_sweep(suite, [counted], BOUNDS, cache=cache)
@@ -211,7 +241,9 @@ class TestWarmRunDoesNoWork:
         )
         suite = homogeneous_suite(n_instances=2, seed=21)
         run_sweep(suite, [local], BOUNDS, cache=cache)
-        assert cache.stats() == {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "puts": 0, "corrupt": 0, "hit_rate": None,
+        }
 
     def test_infinite_bounds_are_cacheable(self, cache):
         """Unbounded sweeps (P or L = inf) must work with the cache on."""
@@ -262,5 +294,5 @@ class TestLegacyPathRemoved:
         }))
         assert cache.get(key, 2) is None
         assert cache.stats() == {
-            "hits": 0, "misses": 1, "puts": 0, "corrupt": 1,
+            "hits": 0, "misses": 1, "puts": 0, "corrupt": 1, "hit_rate": 0.0,
         }
