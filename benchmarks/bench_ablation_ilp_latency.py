@@ -7,7 +7,6 @@ instances the looser printed constraint accepts — i.e. how much the
 typo would distort Figure 8 — and times one full-form solve.
 """
 
-import numpy as np
 
 from benchmarks.conftest import bench_config, emit
 from repro.algorithms import ilp_best

@@ -9,7 +9,6 @@ and evaluation times.  The benchmark times the exact factoring
 evaluation — the cost routing makes unnecessary.
 """
 
-import numpy as np
 
 from repro.core import Interval, Mapping, Platform, TaskChain
 from repro.extensions import compare_routing

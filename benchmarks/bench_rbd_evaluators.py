@@ -6,7 +6,6 @@ factoring, the FKG cut-set lower bound, and Monte Carlo — accuracy
 against the enumeration oracle, wall-clock per evaluator.
 """
 
-import math
 import time
 
 import pytest

@@ -9,7 +9,6 @@ import pytest
 
 from repro.algorithms import ilp_best, pareto_dp_best
 from repro.core import Platform, random_chain
-from benchmarks.conftest import emit
 
 BOUNDS = dict(max_period=250.0, max_latency=900.0)
 

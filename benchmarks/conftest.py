@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import os
 
-import pytest
 
 from repro.experiments.figures import ExperimentResult, run_experiment
 

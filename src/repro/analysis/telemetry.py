@@ -1,0 +1,98 @@
+"""TEL rules: kernels stay free of telemetry and I/O.
+
+The batched kernels (:mod:`repro.algorithms.batch`) and the
+log-reliability primitives (:mod:`repro.util.logrel`) are the two
+innermost layers of every sweep: the kernels run once per
+(method, ensemble) group but loop over all rows internally, and the
+logrel functions are mapped over whole arrays element by element.
+PR 7's telemetry overhead gate (<= 5% on a warm sweep) only holds
+because neither layer emits spans or counters from inside its loops —
+and the batch bit-identity contract only holds because neither
+performs I/O.
+
+``TEL001``
+    An ``obs.span`` / ``obs.counter`` call inside a loop body of a
+    kernel module.  Aggregate outside the loop and emit once — the
+    harness already attributes per-unit costs.
+``TEL002``
+    File or console I/O in a kernel module (anywhere, not just in
+    loops): kernels are pure array transforms.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.core import Finding, SourceFile, register_rules
+
+__all__ = ["KERNEL_MODULES", "RULES", "check"]
+
+RULES = {
+    "TEL001": "telemetry call inside a kernel inner loop",
+    "TEL002": "file or console I/O inside a kernel module",
+}
+register_rules(RULES)
+
+#: The hot-path modules the telemetry/I-O discipline covers.
+KERNEL_MODULES = ("repro.algorithms.batch", "repro.util.logrel")
+
+_IO_EXACT = {
+    "open", "io.open", "os.open", "os.fdopen", "print", "input",
+    "os.replace", "os.remove", "os.unlink", "os.mkdir", "os.makedirs",
+    "json.dump",
+}
+_IO_PREFIXES = ("shutil.", "tempfile.")
+_IO_ATTRS = {"write_text", "write_bytes", "read_text", "read_bytes"}
+
+
+def check(files: "list[SourceFile]") -> Iterable[Finding]:
+    for src in files:
+        if src.module not in KERNEL_MODULES:
+            continue
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.For, ast.While)):
+                yield from _telemetry_in_loop(src, node)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                message = _io_message(node, src)
+                if message:
+                    yield src.finding(node, "TEL002", message)
+
+
+def _telemetry_in_loop(
+    src: SourceFile, loop: "ast.For | ast.While"
+) -> Iterable[Finding]:
+    for body in (loop.body, loop.orelse):
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call) and _is_telemetry(node, src):
+                    yield src.finding(
+                        node, "TEL001",
+                        "span/counter emitted inside a kernel loop; "
+                        "aggregate and emit once outside the loop "
+                        "(the <=5% telemetry overhead gate assumes this)",
+                    )
+
+
+def _is_telemetry(node: ast.Call, src: SourceFile) -> bool:
+    callee = src.imports.resolve_call(node)
+    if not callee:
+        return False
+    parts = callee.split(".")
+    if parts[-1] not in ("span", "counter"):
+        return False
+    return callee.startswith("repro.obs") or "obs" in parts or "telemetry" in parts
+
+
+def _io_message(node: ast.Call, src: SourceFile) -> "str | None":
+    callee = src.imports.resolve_call(node)
+    if callee and (
+        callee in _IO_EXACT or callee.startswith(_IO_PREFIXES)
+    ):
+        return f"call to {callee}() performs I/O inside a kernel module"
+    if isinstance(node.func, ast.Attribute) and node.func.attr in _IO_ATTRS:
+        return (
+            f".{node.func.attr}() performs file I/O inside a kernel module"
+        )
+    return None

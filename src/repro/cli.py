@@ -52,6 +52,14 @@ Commands
     deltas, timing deltas, and cache/batch behavior changes between
     two runs.  Run ids accept unique prefixes.  The ledger directory
     defaults to ``$REPRO_RUNS_DIR``, then ``./runs``.
+``lint``
+    The repo's own invariant checkers (:mod:`repro.analysis`): an
+    AST-level pass enforcing the determinism, cache-key-completeness,
+    atomic-write, registry, and telemetry contracts over the source
+    tree.  ``repro lint`` exits non-zero on any unwaived finding;
+    ``--format json`` emits the deterministic machine-readable report
+    the ``lint-invariants`` CI job archives, and ``--list-rules``
+    prints the rule catalog.
 ``demo``
     Solve a seeded random instance end to end — no files needed.
 
@@ -72,6 +80,7 @@ from repro import __version__
 from repro.core import Platform, TaskChain, evaluate_mapping, random_chain, random_platform
 from repro.core.mapping import Mapping
 from repro.io import dumps, loads
+from repro.obs.ledger import write_atomic
 from repro.solve import Problem, solve
 
 __all__ = ["main", "build_parser"]
@@ -280,6 +289,25 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--json", action="store_true",
                         help="print machine-readable JSON instead of text")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's AST-level invariant checkers (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files or directories to lint (default: the src tree next "
+        "to the working directory, or the installed package source)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="fmt", help="report format (json is deterministic)")
+    lint.add_argument("--rules", default=None, metavar="IDS",
+                      help="comma-separated rule subset (e.g. DET001,KEY001); "
+                      "waiver-audit rules only run on a full pass")
+    lint.add_argument("--output", type=pathlib.Path, default=None,
+                      help="also write the report to this file (atomically)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+
     demo = sub.add_parser("demo", help="solve a seeded random instance end to end")
     demo.add_argument("--tasks", type=int, default=10)
     demo.add_argument("--processors", type=int, default=8)
@@ -324,7 +352,7 @@ def _cmd_solve(args) -> int:
         raise SystemExit(str(exc))
     _print_solution(result, objective=args.objective)
     if result.feasible and args.output:
-        args.output.write_text(dumps(result.mapping, indent=2))
+        write_atomic(args.output, dumps(result.mapping, indent=2))
         print(f"wrote {args.output}")
     return 0 if result.feasible else 1
 
@@ -539,7 +567,7 @@ def _cmd_experiment(args) -> int:
     )
     manifest["run_id"] = run_id
     run_dir = write_run(args.runs_dir, run_id, manifest, per_unit=unit_events)
-    args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+    write_atomic(args.manifest, json.dumps(manifest, indent=2) + "\n")
     print(f"wrote manifest {args.manifest}")
     print(f"ledger run {run_id} -> {run_dir}")
     if cache is not None:
@@ -845,7 +873,7 @@ def _cmd_scenario(args) -> int:
     )
     manifest["run_id"] = run_id
     run_dir = write_run(args.runs_dir, run_id, manifest, per_unit=sweep.unit_events)
-    args.manifest.write_text(json.dumps(manifest, indent=2) + "\n")
+    write_atomic(args.manifest, json.dumps(manifest, indent=2) + "\n")
     print(f"\nwrote manifest {args.manifest}")
     print(f"ledger run {run_id} -> {run_dir}")
     return 0
@@ -924,6 +952,38 @@ def _cmd_runs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis import RULES, render_json, render_text, run_lint
+
+    if args.list_rules:
+        width = max(len(rule) for rule in RULES)
+        for rule in sorted(RULES):
+            print(f"{rule:{width}s}  {RULES[rule]}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        # Default target: the source tree of the working copy when run
+        # from a checkout, else the installed package itself.
+        src = pathlib.Path("src")
+        if (src / "repro").is_dir():
+            paths = [src]
+        else:
+            paths = [pathlib.Path(__file__).parent]
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        findings = run_lint(paths, rules=rules)
+    except (FileNotFoundError, ValueError) as exc:
+        raise SystemExit(str(exc))
+    report = render_json(findings) if args.fmt == "json" else render_text(findings)
+    print(report, end="")
+    if args.output:
+        write_atomic(args.output, report)
+    return 1 if findings else 0
+
+
 def _cmd_demo(args) -> int:
     import numpy as np
 
@@ -957,6 +1017,7 @@ COMMANDS = {
     "scenario": _cmd_scenario,
     "plan": _cmd_plan,
     "runs": _cmd_runs,
+    "lint": _cmd_lint,
     "demo": _cmd_demo,
 }
 

@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.chain import TaskChain
 from repro.core.generate import random_chain, random_platform

@@ -26,6 +26,7 @@ from repro.obs.ledger import (
     render_report,
     resolve_runs_dir,
     run_id_for,
+    write_atomic,
     write_run,
 )
 from repro.obs.telemetry import Telemetry, active, collect, counter, span
@@ -46,5 +47,6 @@ __all__ = [
     "resolve_runs_dir",
     "run_id_for",
     "span",
+    "write_atomic",
     "write_run",
 ]

@@ -58,6 +58,7 @@ __all__ = [
     "render_report",
     "resolve_runs_dir",
     "run_id_for",
+    "write_atomic",
     "write_run",
 ]
 
@@ -109,11 +110,13 @@ def run_id_for(identity: Any, timestamp: str) -> str:
     return f"{tag}-{content_hash(identity, tag)[:_ID_HASH_LEN]}"
 
 
-def _write_atomic(path: pathlib.Path, text: str) -> None:
+def write_atomic(path: pathlib.Path, text: str) -> None:
     """Write *text* via a sibling temp file + ``os.replace``.
 
     Readers never observe a partial file: either the old content (or
-    absence) or the complete new content.
+    absence) or the complete new content.  This is the one sanctioned
+    file-write primitive of the artifact layers — the ``IO001`` lint
+    rule (:mod:`repro.analysis.atomicwrite`) flags raw writes there.
     """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -156,9 +159,9 @@ def write_run(
     manifest = {**manifest, "run_id": run_id}
     if report is None:
         report = render_report(manifest, per_unit)
-    _write_atomic(root / "per_unit.jsonl", _per_unit_bytes(per_unit))
-    _write_atomic(root / "report.md", report)
-    _write_atomic(root / "manifest.json", _manifest_bytes(manifest))
+    write_atomic(root / "per_unit.jsonl", _per_unit_bytes(per_unit))
+    write_atomic(root / "report.md", report)
+    write_atomic(root / "manifest.json", _manifest_bytes(manifest))
     return root
 
 

@@ -1,0 +1,21 @@
+# repro-lint-fixture: module=repro.experiments.cache
+"""Bad half of the cross-reference: the ``"objective"`` ingredient was
+deleted from the cache key, so problems differing only in objective
+would collide on one entry.  The findings land in ``solver.py`` —
+on the reads the key no longer covers (KEY001)."""
+
+from repro.util.hashing import content_hash
+
+
+class ResultCache:
+    def unit_key_for(self, unit, fingerprint):
+        base_digest = unit.digest
+        bounds = (unit.max_period, unit.max_latency)
+        ingredients = {
+            "fingerprint": fingerprint,
+            "min_reliability": unit.min_reliability,
+            "cache_format": 4,
+        }
+        if unit.scenario is not None:
+            ingredients["scenario"] = unit.scenario
+        return content_hash(base_digest, bounds, ingredients)

@@ -1,0 +1,10 @@
+# repro-lint-fixture: module=repro.algorithms.fx_solver
+"""Solve-path consumer: reads Problem fields the cache key must cover."""
+
+
+def solve(problem):
+    if problem.objective == "latency":  # repro-lint-expect: KEY001
+        floor = problem.min_reliability
+    else:
+        floor = problem.min_log_reliability
+    return problem.n_tasks, floor

@@ -1,0 +1,22 @@
+# repro-lint-fixture: module=repro.experiments.cache
+"""Good half of the cross-reference: every Problem field the solver
+reads is covered — the instance digest (chain/platform/n_tasks), the
+bound tokens, and the explicit objective / min_reliability
+ingredients."""
+
+from repro.util.hashing import content_hash
+
+
+class ResultCache:
+    def unit_key_for(self, unit, fingerprint):
+        base_digest = unit.digest
+        bounds = (unit.max_period, unit.max_latency)
+        ingredients = {
+            "fingerprint": fingerprint,
+            "objective": unit.objective,
+            "min_reliability": unit.min_reliability,
+            "cache_format": 4,
+        }
+        if unit.scenario is not None:
+            ingredients["scenario"] = unit.scenario
+        return content_hash(base_digest, bounds, ingredients)

@@ -1,0 +1,10 @@
+# repro-lint-fixture: module=repro.algorithms.fx_solver
+"""Solve-path consumer: every field read here is a key ingredient."""
+
+
+def solve(problem):
+    if problem.objective == "latency":
+        floor = problem.min_reliability
+    else:
+        floor = problem.min_log_reliability
+    return problem.n_tasks, floor

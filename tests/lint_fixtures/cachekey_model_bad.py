@@ -1,0 +1,12 @@
+# repro-lint-fixture: module=repro.experiments.cache
+# repro-lint-expect-at: KEY003@1
+"""Bad: the cache module lost unit_key_for entirely — the completeness
+checker fails loudly (KEY003) instead of silently checking nothing."""
+
+
+class ResultCache:
+    def __init__(self, root):
+        self.root = root
+
+    def lookup(self, key):
+        return None

@@ -1,0 +1,13 @@
+# repro-lint-fixture: module=repro.algorithms.profiled
+"""Bad: a solver that reads the wall clock (DET001)."""
+
+import datetime
+import time
+from time import perf_counter as pc
+
+
+def solve(problem):
+    start = time.time()  # repro-lint-expect: DET001
+    tick = pc()  # repro-lint-expect: DET001
+    stamp = datetime.datetime.now()  # repro-lint-expect: DET001
+    return start, tick, stamp

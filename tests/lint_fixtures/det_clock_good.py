@@ -1,0 +1,6 @@
+# repro-lint-fixture: module=repro.algorithms.profiled
+"""Good: timing is the harness's job — accept it as an argument."""
+
+
+def solve(problem, elapsed_seconds=0.0):
+    return problem, elapsed_seconds

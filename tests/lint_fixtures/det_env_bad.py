@@ -1,0 +1,10 @@
+# repro-lint-fixture: module=repro.solve.tuning
+"""Bad: solver behavior keyed on environment variables (DET003)."""
+
+import os
+
+
+def worker_count(problem):
+    n = os.environ["REPRO_JOBS"]  # repro-lint-expect: DET003
+    fallback = os.getenv("REPRO_JOBS_FALLBACK", "1")  # repro-lint-expect: DET003
+    return int(n or fallback)

@@ -1,0 +1,6 @@
+# repro-lint-fixture: module=repro.solve.tuning
+"""Good: configuration arrives as an explicit argument the cache key sees."""
+
+
+def worker_count(problem, jobs=1):
+    return int(jobs)

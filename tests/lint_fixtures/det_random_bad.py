@@ -1,0 +1,13 @@
+# repro-lint-fixture: module=repro.extensions.jitter
+"""Bad: global-state and unseeded randomness on the solve path (DET002)."""
+
+import random
+
+import numpy as np
+
+
+def perturb(xs):
+    random.shuffle(xs)  # repro-lint-expect: DET002
+    noise = np.random.rand(len(xs))  # repro-lint-expect: DET002
+    rng = np.random.default_rng()  # repro-lint-expect: DET002
+    return xs, noise, rng

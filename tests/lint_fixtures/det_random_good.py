@@ -1,0 +1,13 @@
+# repro-lint-fixture: module=repro.extensions.jitter
+"""Good: all randomness flows through an explicitly seeded generator."""
+
+import random
+
+import numpy as np
+
+
+def perturb(xs, seed):
+    rng = np.random.default_rng(seed)
+    legacy = random.Random(seed)
+    order = rng.permutation(len(xs))
+    return [xs[i] for i in order], legacy.random()

@@ -1,0 +1,10 @@
+# repro-lint-fixture: module=repro.rbd.pruning
+"""Bad: iteration order of a bare set leaks into results (DET004)."""
+
+
+def prune(edges):
+    kept = []
+    for label in {"series", "parallel", "router"}:  # repro-lint-expect: DET004
+        kept.append(label)
+    picks = [e for e in set(edges)]  # repro-lint-expect: DET004
+    return kept, picks

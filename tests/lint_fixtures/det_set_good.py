@@ -1,0 +1,10 @@
+# repro-lint-fixture: module=repro.rbd.pruning
+"""Good: sets are fine as membership structures; iterate them sorted."""
+
+
+def prune(edges):
+    kept = []
+    for label in sorted({"series", "parallel", "router"}):
+        kept.append(label)
+    picks = [e for e in sorted(set(edges))]
+    return kept, picks

@@ -1,0 +1,15 @@
+# repro-lint-fixture: module=repro.experiments.methods
+"""Good: the fingerprint hashes the batched kernel too."""
+
+
+class Method:
+    def __init__(self, name, solve, solve_batch=None):
+        self.name = name
+        self.solve = solve
+        self.solve_batch = solve_batch
+
+    def fingerprint(self):
+        parts = [self.name, self.solve.__code__.co_code.hex()]
+        if self.solve_batch is not None:
+            parts.append(self.solve_batch.__code__.co_code.hex())
+        return "|".join(parts)

@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.obs.export
+"""Bad: in-place writes in an artifact module (IO001)."""
+
+import json
+import pathlib
+
+
+def dump_report(path, payload):
+    with open(path, "w") as fh:  # repro-lint-expect: IO001
+        json.dump(payload, fh)
+
+
+def dump_digest(path, digest):
+    pathlib.Path(path).write_text(digest)  # repro-lint-expect: IO001

@@ -1,0 +1,17 @@
+# repro-lint-fixture: module=repro.obs.export
+"""Good: the mkstemp + os.replace idiom; such helpers are exempt."""
+
+import json
+import os
+import tempfile
+
+
+def dump_report(path, payload):
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path) or ".")
+    try:
+        with open(fd, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise

@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Bad: one method name registered twice without replace=True (REG003)."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("hill_climb", objectives=("period",))
+def hill_climb_v1(instances):
+    return instances
+
+
+@register_method("hill_climb", objectives=("period",))  # repro-lint-expect: REG003
+def hill_climb_v2(instances):
+    return instances

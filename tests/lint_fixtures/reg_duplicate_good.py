@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Good: an intentional override says so with replace=True."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("hill_climb", objectives=("period",))
+def hill_climb_v1(instances):
+    return instances
+
+
+@register_method("hill_climb", objectives=("period",), replace=True)
+def hill_climb_v2(instances):
+    return instances

@@ -1,0 +1,16 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Bad: registrations whose objectives break the registry contract (REG001)."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("warp", objectives=("throughput",))  # repro-lint-expect: REG001
+def warp(instances):
+    return instances
+
+
+def _drain(instances):
+    return instances
+
+
+register_method("drain", _drain, objectives=())  # repro-lint-expect: REG001

@@ -1,0 +1,16 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Good: declared objectives are a subset of repro.solve.OBJECTIVES."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("warp", objectives=("period", "latency"))
+def warp(instances):
+    return instances
+
+
+def _drain(instances):
+    return instances
+
+
+register_method("drain", _drain, objectives=("reliability",))

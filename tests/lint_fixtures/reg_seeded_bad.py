@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Bad: seeded capability and callable signature disagree (REG002)."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("anneal", seeded=True)  # repro-lint-expect: REG002
+def anneal(instances):
+    return instances
+
+
+@register_method("walk")  # repro-lint-expect: REG002
+def walk(instances, seed=None):
+    return instances, seed

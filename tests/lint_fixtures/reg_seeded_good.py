@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.experiments.extra_methods
+"""Good: seeded=True iff the callable accepts a seed."""
+
+from repro.experiments.methods import register_method
+
+
+@register_method("anneal", seeded=True)
+def anneal(instances, seed):
+    return instances, seed
+
+
+@register_method("walk")
+def walk(instances):
+    return instances

@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.algorithms.batch
+"""Bad: telemetry in a kernel inner loop (TEL001) and kernel I/O (TEL002)."""
+
+from repro import obs
+
+
+def solve_batch(columns):
+    totals = []
+    for column in columns:
+        with obs.span("kernel.column"):  # repro-lint-expect: TEL001
+            totals.append(sum(column))
+        obs.counter("kernel.columns", 1)  # repro-lint-expect: TEL001
+    print("solved", len(totals))  # repro-lint-expect: TEL002
+    return totals

@@ -1,0 +1,13 @@
+# repro-lint-fixture: module=repro.util.logrel
+"""Good: one span around the whole kernel call, no I/O inside."""
+
+from repro import obs
+
+
+def solve_batch(columns):
+    totals = []
+    with obs.span("kernel.batch"):
+        for column in columns:
+            totals.append(sum(column))
+    obs.counter("kernel.columns", len(totals))
+    return totals

@@ -1,0 +1,17 @@
+# repro-lint-fixture: module=repro.util.sloppy
+"""Bad: malformed waivers (WAIVE001) do not suppress anything."""
+
+import time
+
+
+def sloppy():
+    # repro-lint-expect-next: WAIVE001,DET001
+    t = time.time()  # repro-lint: disable=DET001
+    return t
+
+
+# repro-lint-expect-next: WAIVE001
+# repro-lint: disable=NOPE123 unknown rule ids are rejected
+
+# repro-lint-expect-next: WAIVE001
+# repro-lint: disable=WAIVE002 the waiver-audit rules cannot be waived

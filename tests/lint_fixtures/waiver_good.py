@@ -1,0 +1,11 @@
+# repro-lint-fixture: module=repro.util.probe
+"""Good: justified waivers, in both positions, suppress their findings."""
+
+import time
+
+
+def probe():
+    t0 = time.perf_counter()  # repro-lint: disable=DET001 measures probe cost, not a solver input
+    # repro-lint: disable=DET001 comment-only waivers cover the next line
+    t1 = time.perf_counter()
+    return t1 - t0

@@ -1,0 +1,8 @@
+# repro-lint-fixture: module=repro.util.tidy
+"""Bad: a waiver that suppresses nothing is itself a finding (WAIVE002)."""
+
+
+def tidy(xs):
+    # repro-lint-expect-next: WAIVE002
+    total = sum(xs)  # repro-lint: disable=DET001 nothing on this line reads a clock
+    return total

@@ -1,7 +1,6 @@
 """Tests for Algo-Alloc (Theorem 4) and its heterogeneous variant (Section 7.2)."""
 
 import itertools
-import math
 
 import numpy as np
 import pytest

@@ -1,7 +1,6 @@
 """Tests for the NP-completeness machinery: source-problem solvers and
 end-to-end checks of the Theorem 3 / Theorem 5 reductions."""
 
-import math
 
 import numpy as np
 import pytest

@@ -13,7 +13,7 @@ from repro.algorithms import (
     optimize_reliability_period,
 )
 from repro.algorithms.dp_period import candidate_periods
-from repro.core import Platform, TaskChain, evaluate_mapping, random_chain
+from repro.core import Platform, TaskChain, random_chain
 
 HOM = dict(speed=1.0, failure_rate=1e-8, link_failure_rate=1e-5, bandwidth=1.0)
 

@@ -11,7 +11,6 @@ import pytest
 
 from repro.core import (
     Ensemble,
-    InstanceView,
     Platform,
     TaskChain,
     ensembles_from_instances,

@@ -4,7 +4,6 @@ Pareto DP, and the Section 5.4 ILP on both backends.
 The validation chain of DESIGN.md: all four must agree on feasibility
 and optimal reliability on common instances."""
 
-import math
 
 import numpy as np
 import pytest

@@ -2,12 +2,10 @@
 sweeps, figures, reporting)."""
 
 import json
-import math
 
 import numpy as np
 import pytest
 
-from repro.core import Platform, TaskChain
 from repro.experiments import (
     EXPERIMENTS,
     FIGURES,

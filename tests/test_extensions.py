@@ -1,6 +1,5 @@
 """Tests for the Section 9 future-work extensions."""
 
-import math
 
 import numpy as np
 import pytest

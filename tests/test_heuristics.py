@@ -1,7 +1,6 @@
 """Tests for Heur-L (Algorithm 3), Heur-P (Algorithm 4), and the full
 two-step heuristic pipeline of Section 7."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,12 +1,10 @@
 """Tests for the MILP modeling layer and its two backends."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.ilp import (
-    LinExpr,
     Model,
     solve_with_branch_bound,
     solve_with_scipy,

@@ -1,14 +1,12 @@
 """Cross-module integration tests: the full validation chain of DESIGN.md
 exercised end to end on shared instances."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro import (
     Platform,
-    TaskChain,
     evaluate_mapping,
     heuristic_best,
     ilp_best,
@@ -23,7 +21,6 @@ from repro.rbd import (
     estimate_log_reliability,
     exact_log_reliability_factoring,
     rbd_with_routing,
-    rbd_without_routing,
     series_parallel_log_reliability,
 )
 from repro.simulation import simulate_mapping

@@ -1,11 +1,10 @@
 """Tests for JSON serialization (repro.io) and the CLI (repro.cli)."""
 
 import json
-import math
 
 import pytest
 
-from repro.core import Interval, Mapping, Platform, TaskChain, random_chain
+from repro.core import Interval, Mapping, Platform, TaskChain
 from repro.io import FORMAT_VERSION, dumps, from_dict, loads, to_dict
 from repro.cli import build_parser, main
 

@@ -1,7 +1,6 @@
 """The pluggable method registry: registration rules, capability
 metadata, lookup errors, and the SweepResult unknown-method regression."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.result import SolveResult

@@ -16,7 +16,6 @@ from repro.algorithms import (
 from repro.core import Platform, TaskChain
 from repro.experiments import (
     METHODS,
-    UnknownMethodError,
     get_method,
     register_method,
     run_crosscheck,

@@ -124,14 +124,14 @@ class TestLedgerWriter:
     def test_interrupted_write_leaves_no_half_run(self, tmp_path, monkeypatch):
         """manifest.json lands last; a crash before it leaves a directory
         that list/find skip — and no stray temp files."""
-        real = ledger_mod._write_atomic
+        real = ledger_mod.write_atomic
 
         def failing(path, text):
             if path.name == "manifest.json":
                 raise OSError("disk full")
             real(path, text)
 
-        monkeypatch.setattr(ledger_mod, "_write_atomic", failing)
+        monkeypatch.setattr(ledger_mod, "write_atomic", failing)
         run_id = run_id_for({"x": 1}, "20260808T120000Z")
         with pytest.raises(OSError):
             write_run(tmp_path, run_id, _manifest(0.25, 0.1), UNITS)
@@ -141,7 +141,7 @@ class TestLedgerWriter:
         with pytest.raises(FileNotFoundError):
             find_run(run_id, tmp_path)
         # The interrupted run completes on retry and surfaces normally.
-        monkeypatch.setattr(ledger_mod, "_write_atomic", real)
+        monkeypatch.setattr(ledger_mod, "write_atomic", real)
         write_run(tmp_path, run_id, _manifest(0.25, 0.1), UNITS)
         assert [row["run_id"] for row in list_runs(tmp_path)] == [run_id]
 
@@ -149,7 +149,7 @@ class TestLedgerWriter:
         """A crash mid-write must leave the old content intact (temp file
         + rename), not a truncated file."""
         target = tmp_path / "manifest.json"
-        ledger_mod._write_atomic(target, "old content")
+        ledger_mod.write_atomic(target, "old content")
 
         def exploding_fdopen(fd, mode):
             import os
@@ -159,7 +159,7 @@ class TestLedgerWriter:
 
         monkeypatch.setattr(ledger_mod.os, "fdopen", exploding_fdopen)
         with pytest.raises(OSError):
-            ledger_mod._write_atomic(target, "new content")
+            ledger_mod.write_atomic(target, "new content")
         assert target.read_text() == "old content"
         assert list(tmp_path.glob("*.tmp")) == []
 

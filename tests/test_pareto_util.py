@@ -1,6 +1,5 @@
 """Unit tests for the Pareto-frontier container."""
 
-import pytest
 
 from repro.util.pareto import ParetoFrontier, dominates
 

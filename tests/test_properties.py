@@ -1,13 +1,12 @@
 """Property-based tests (hypothesis) on the core numerics and invariants."""
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core import Platform, TaskChain, evaluate_mapping, Interval, Mapping
+from repro.core import Platform, TaskChain, evaluate_mapping, Mapping
 from repro.core.evaluation import (
     expected_cost,
     mapping_log_reliability,

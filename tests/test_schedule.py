@@ -1,6 +1,5 @@
 """Tests for the static periodic schedule (Section 1 deadline model)."""
 
-import numpy as np
 import pytest
 
 from repro.core import Interval, Mapping, Platform, TaskChain, evaluate_mapping

@@ -1,7 +1,6 @@
 """Tests for the two Section 7 selection readings and the forced-het
 allocation mode (the Section 8.2 experiment semantics)."""
 
-import math
 
 import numpy as np
 import pytest

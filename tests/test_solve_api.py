@@ -10,7 +10,6 @@ import pytest
 from repro.core import Platform, TaskChain
 from repro.experiments import (
     METHODS,
-    Method,
     UnknownMethodError,
     get_method,
     register_method,
