@@ -18,8 +18,10 @@ Checkers and their rules
   Problem field the solve path reads must be covered by a cache-key
   ingredient in ``ResultCache.unit_key_for`` (and the method
   fingerprint, batched kernel included, must stay an ingredient);
-* :mod:`~repro.analysis.atomicwrite` — ``IO001``: artifact layers
-  write only through the mkstemp + ``os.replace`` idiom;
+* :mod:`~repro.analysis.atomicwrite` — ``IO001``-``IO002``: artifact
+  layers write only through the sanctioned atomic idioms — mkstemp +
+  ``os.replace`` for files, ``BEGIN IMMEDIATE`` transactions for the
+  SQLite cache backend;
 * :mod:`~repro.analysis.registry` — ``REG001``-``REG003``:
   ``register_method`` call sites declare valid objectives, consistent
   seeding, and no silent name collisions;

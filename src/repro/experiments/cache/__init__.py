@@ -1,18 +1,35 @@
-"""On-disk result cache for bound sweeps.
+"""On-disk result cache for bound sweeps — pluggable storage backends.
 
 The paper's evaluation recomputes the same ``method x instance x
 bounds`` solves for every figure, bench, and cross-check run.  This
-module gives them a shared, content-addressed store so a sweep computed
-once is free forever after.
+package gives them a shared, content-addressed store so a sweep
+computed once is free forever after.
 
-Layout
-------
-One JSON file per *work unit* — one method run on one instance over a
-full bounds list::
+Architecture
+------------
+:class:`ResultCache` owns the *meaning* of the cache — key derivation,
+record validation, corrupt-entry recovery, hit/miss counters — and
+delegates bytes-at-rest to a :class:`~repro.experiments.cache.backend.CacheBackend`:
 
-    <cache_dir>/<key[:2]>/<key>.json
+* :class:`~repro.experiments.cache.filetree.FileTreeBackend`
+  (``kind="files"``, the default) — one JSON file per key under
+  ``<root>/<key[:2]>/<key>.json``, atomic via mkstemp + ``os.replace``;
+* :class:`~repro.experiments.cache.sqlite.SQLiteBackend`
+  (``kind="sqlite"``) — a single ``<root>/cache.db`` in WAL mode with
+  ``BEGIN IMMEDIATE`` writers and a ``schema_version`` table, built
+  for fleets of concurrent sweep processes.
 
-where ``key = sha256(method name, instance digest, objective fields,
+Both persist identical bytes (sorted-keys CACHE_FORMAT JSON), so keys
+*and* record payloads are bit-identical across backends and
+:func:`migrate_cache` / ``repro cache migrate`` can verify a switch by
+row digest.  Backend choice: ``ResultCache(root, backend=...)``
+explicitly, else whatever store already lives under ``root``, else
+``$REPRO_CACHE_BACKEND``, else the file tree (see
+:func:`resolve_backend`).
+
+Keys
+----
+``key = sha256(method name, instance digest, objective fields,
 per-point bound tokens, seed, package version)`` via
 :func:`repro.io.content_hash`.  The *instance digest*
 (:func:`repro.core.ensemble.instance_digest`) is a raw-array-bytes
@@ -42,46 +59,63 @@ the per-instance unbounded-solve scalars
 free on a warm cache.
 
 Corrupted or truncated entries (interrupted writes, disk faults) are
-treated as misses and deleted, so recovery is automatic: the unit is
+treated as misses and discarded, so recovery is automatic: the unit is
 recomputed and rewritten.  Each such recovery also increments the
 dedicated :attr:`ResultCache.corrupt` counter — a corrupt entry *is* a
 miss for control flow, but a run whose manifest shows nonzero
-``corrupt`` had cache files damaged on disk, which plain miss counts
-used to hide.  Writes go through a temp file + ``os.replace`` so
-concurrent runs sharing a cache directory never observe a partial
-entry.
+``corrupt`` had cache entries damaged on disk, which plain miss counts
+used to hide.
 
 Environment
 -----------
 ``REPRO_CACHE_DIR``
     Default cache directory for the harness/figures/benches when no
     explicit ``cache`` argument is given.  Unset means "no cache".
+``REPRO_CACHE_BACKEND``
+    Backend for *fresh* cache directories: ``files`` (default) or
+    ``sqlite``.  A directory already holding a store keeps its backend
+    regardless — switching is an explicit ``repro cache migrate``.
 
 Statistics (:attr:`ResultCache.hits` / ``misses`` / ``puts`` /
 ``corrupt``) feed the run manifest written by ``python -m repro
-experiment``.
+experiment``; persistent on-disk totals come from the backend via
+:meth:`ResultCache.storage_stats` (``repro cache stats``).
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
 import pathlib
-import tempfile
+import warnings
 from typing import Sequence
 
 import numpy as np
 
 from repro.core.ensemble import instance_digest
+from repro.experiments.cache.backend import (
+    CacheBackend,
+    detect_backend_kind,
+    make_backend,
+)
+from repro.experiments.cache.filetree import FileTreeBackend
+from repro.experiments.cache.migrate import migrate_cache
+from repro.experiments.cache.sqlite import SQLiteBackend
 from repro.io import content_hash
 from repro.obs import telemetry as obs
 from repro.solve.problem import Problem, encode_bound
 
 __all__ = [
     "CACHE_FORMAT",
+    "CacheBackend",
+    "FileTreeBackend",
     "ResultCache",
+    "SQLiteBackend",
+    "migrate_cache",
+    "resolve_backend",
     "resolve_cache",
+    "unit_arrays",
+    "unit_record",
 ]
 
 #: Bumped to 2 with the :mod:`repro.solve` redesign (keys derived from
@@ -91,7 +125,9 @@ __all__ = [
 #: derived from raw-array *instance digests* instead of JSON Problem
 #: payload hashes, and entries carry per-point achieved objective
 #: values.  The one-release format-3 legacy-read path was removed in
-#: 1.4.0; pre-columnar entries simply miss and recompute.
+#: 1.4.0; pre-columnar entries simply miss and recompute.  Storage
+#: layout is versioned separately per backend (the SQLite backend's
+#: ``schema_version`` table).
 CACHE_FORMAT = 4
 
 
@@ -101,7 +137,12 @@ class ResultCache:
     Parameters
     ----------
     root:
-        Cache directory (created on first write).
+        Cache directory (created on first write).  Optional when an
+        instantiated *backend* is given.
+    backend:
+        Storage backend: a :class:`CacheBackend` instance, a kind
+        token (``"files"`` / ``"sqlite"``) to open at *root*, or None
+        to auto-select via :func:`resolve_backend`.
 
     Attributes
     ----------
@@ -112,12 +153,27 @@ class ResultCache:
         How many lookups found an entry on disk but could not use it
         (bad JSON, wrong format, wrong shape).  Every corrupt lookup
         also counts as a miss — the unit recomputes either way — but a
-        nonzero ``corrupt`` means cache files were damaged, not merely
-        absent.
+        nonzero ``corrupt`` means cache entries were damaged, not
+        merely absent.
     """
 
-    def __init__(self, root: "str | os.PathLike[str]") -> None:
-        self.root = pathlib.Path(root)
+    def __init__(
+        self,
+        root: "str | os.PathLike[str] | None" = None,
+        backend: "CacheBackend | str | None" = None,
+    ) -> None:
+        if backend is None:
+            if root is None:
+                raise TypeError("ResultCache() needs a root directory or a backend")
+            backend = resolve_backend(root)
+        elif isinstance(backend, str):
+            if root is None:
+                raise TypeError(
+                    f"ResultCache(backend={backend!r}) needs a root directory"
+                )
+            backend = make_backend(backend, root)
+        self.backend = backend
+        self.root = pathlib.Path(backend.root)
         self.hits = 0
         self.misses = 0
         self.puts = 0
@@ -160,6 +216,9 @@ class ResultCache:
         instance still keep separate entries, and editing a spec's
         generative fields can never replay arrays computed for the old
         workload.
+
+        Keys are backend-independent: the same unit resolves to the
+        same key in a file tree and in a ``cache.db``.
         """
         from repro import __version__
 
@@ -252,71 +311,87 @@ class ResultCache:
             fingerprint=fingerprint,
         )
 
-    def _path(self, key: str) -> pathlib.Path:
-        return self.root / key[:2] / f"{key}.json"
-
     # -- lookup / store --------------------------------------------------
 
-    def get(
-        self, key: str, n_points: int, method_name: "str | None" = None
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None] | None":
-        """Return ``(solved, failure, objective_values, info)``, or None.
+    def get_record(
+        self,
+        key: str,
+        method_name: "str | None" = None,
+        n_points: "int | None" = None,
+    ) -> "dict | None":
+        """Return the record stored under *key*, or None on a miss.
 
-        ``objective_values`` is None for entries stored without them
-        (direct :meth:`put` calls); ``info`` is the per-unit solve
-        detail record (search probe counts, convergence) when the
-        entry stored one.  A malformed entry (bad JSON, wrong version,
-        wrong length) counts as a miss *and* a :attr:`corrupt` lookup,
-        and is deleted so the recomputed unit overwrites it.
+        The one lookup path for sweep units and grid probes alike.
+        With *n_points* the record must additionally decode as a sweep
+        unit of that many points (:func:`unit_arrays`) before it counts
+        as a hit.  A malformed entry — undecodable bytes, wrong format
+        stamp, wrong shape — counts as a miss *and* a :attr:`corrupt`
+        lookup and is discarded, so the recomputed unit overwrites it.
 
         *method_name* labels the telemetry counters
         (``cache.hit[heur-l]``, ...) when a collector is installed —
-        the per-method cache breakdown run manifests report.
+        the per-method cache breakdown run manifests report.  The
+        backend-kind twin counters (``cache.backend.hit[sqlite]``, ...)
+        are emitted alongside.
         """
-        path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-            arrays = self._unit_arrays_from(payload, n_points)
-        except FileNotFoundError:
-            self.misses += 1
-            obs.counter("cache.miss", label=method_name)
-            return None
+            payload = self.backend.load(key)
+            if payload is not None:
+                if payload.get("repro_cache") != CACHE_FORMAT:
+                    raise ValueError("cache format mismatch")
+                if n_points is not None:
+                    unit_arrays(payload, n_points)
         except (ValueError, KeyError, TypeError, OSError):
             # Corrupted entry: recover by dropping it and recomputing.
             self.misses += 1
             self.corrupt += 1
             obs.counter("cache.corrupt", label=method_name)
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            obs.counter("cache.backend.corrupt", label=self.backend.kind)
+            self.backend.discard(key)
+            return None
+        if payload is None:
+            self.misses += 1
+            obs.counter("cache.miss", label=method_name)
+            obs.counter("cache.backend.miss", label=self.backend.kind)
             return None
         self.hits += 1
         obs.counter("cache.hit", label=method_name)
-        return arrays
+        obs.counter("cache.backend.hit", label=self.backend.kind)
+        return payload
 
-    @staticmethod
-    def _unit_arrays_from(
-        payload: dict, n_points: int
-    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None]":
-        if payload["repro_cache"] != CACHE_FORMAT:
-            raise ValueError("cache format mismatch")
-        solved = np.asarray(payload["solved"], dtype=bool)
-        failure = np.asarray(payload["failure"], dtype=float)
-        if solved.shape != (n_points,) or failure.shape != (n_points,):
-            raise ValueError("cache entry shape mismatch")
-        objective_values = None
-        if payload.get("objective_values") is not None:
-            # float() also decodes the "inf" tokens _encode_value writes.
-            objective_values = np.array(
-                [float(v) for v in payload["objective_values"]], dtype=float
-            )
-            if objective_values.shape != (n_points,):
-                raise ValueError("cache entry shape mismatch")
-        info = payload.get("info")
-        if info is not None and not isinstance(info, dict):
-            raise ValueError("cache entry info mismatch")
-        return solved, failure, objective_values, info
+    def put_record(self, key: str, record: dict) -> None:
+        """Store a JSON-able record atomically.
+
+        The format stamp is added here; everything else is the
+        caller's payload (for sweep units, built by :func:`unit_record`).
+        Atomicity is the backend's: temp file + rename for the file
+        tree, an immediate transaction for SQLite — either way a
+        concurrent reader never observes a torn entry.
+        """
+        self.backend.store(key, {"repro_cache": CACHE_FORMAT, **record})
+        self.puts += 1
+        obs.counter("cache.backend.put", label=self.backend.kind)
+
+    # -- deprecated tuple-shaped shims -----------------------------------
+
+    def get(
+        self, key: str, n_points: int, method_name: "str | None" = None
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None] | None":
+        """Deprecated: use :meth:`get_record` + :func:`unit_arrays`.
+
+        The old tuple-shaped lookup, kept one release as a shim over
+        the record API.
+        """
+        warnings.warn(
+            "ResultCache.get() is deprecated; use "
+            "get_record(key, n_points=...) and unit_arrays()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        record = self.get_record(key, method_name=method_name, n_points=n_points)
+        if record is None:
+            return None
+        return unit_arrays(record, n_points)
 
     def put(
         self,
@@ -327,80 +402,27 @@ class ResultCache:
         method_name: str = "",
         info: "dict | None" = None,
     ) -> None:
-        """Store one unit's arrays atomically (temp file + rename).
+        """Deprecated: use :meth:`put_record` + :func:`unit_record`.
 
-        *info* carries the unit's solve-detail record (search probe
-        totals, a convergence flag) when the method reported one, so a
-        warm run's ledger still attributes convergence per unit.
-        Entries without one omit the field entirely — the batched and
-        per-row paths keep writing byte-identical payloads for methods
-        that report no details.
+        The old array-argument store, kept one release as a shim over
+        the record API.
         """
-        record = {
-            "method": method_name,
-            "n_points": int(len(solved)),
-            "solved": [bool(s) for s in solved],
-            "failure": [float(f) for f in failure],
-            "objective_values": None
-            if objective_values is None
-            else [_encode_value(v) for v in objective_values],
-        }
-        if info is not None:
-            record["info"] = info
-        self.put_record(key, record)
-
-    # -- generic records (grid probes) -----------------------------------
-
-    def get_record(self, key: str, method_name: "str | None" = None) -> "dict | None":
-        """Return a JSON record stored by :meth:`put_record`, or None.
-
-        Same recovery contract as :meth:`get`: malformed or
-        wrong-format entries count as misses and are deleted.
-        *method_name* labels the telemetry counters like :meth:`get`.
-        """
-        path = self._path(key)
-        try:
-            payload = json.loads(path.read_text())
-            if payload.get("repro_cache") != CACHE_FORMAT:
-                raise ValueError("cache format mismatch")
-        except FileNotFoundError:
-            self.misses += 1
-            obs.counter("cache.miss", label=method_name)
-            return None
-        except (ValueError, KeyError, TypeError, OSError):
-            self.misses += 1
-            self.corrupt += 1
-            obs.counter("cache.corrupt", label=method_name)
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        obs.counter("cache.hit", label=method_name)
-        return payload
-
-    def put_record(self, key: str, record: dict) -> None:
-        """Store a JSON-able record atomically (temp file + rename).
-
-        The format stamp is added here; everything else is the
-        caller's payload.
-        """
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"repro_cache": CACHE_FORMAT, **record}
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        self.puts += 1
+        warnings.warn(
+            "ResultCache.put() is deprecated; use "
+            "put_record(key, unit_record(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.put_record(
+            key,
+            unit_record(
+                solved,
+                failure,
+                objective_values,
+                method_name=method_name,
+                info=info,
+            ),
+        )
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -420,6 +442,12 @@ class ResultCache:
             "hit_rate": self.hits / lookups if lookups else None,
         }
 
+    def storage_stats(self) -> dict:
+        """Persistent on-disk totals from the backend (entry count,
+        bytes, and for SQLite the schema version) — meaningful without
+        a live sweep, unlike the process-local :meth:`stats`."""
+        return self.backend.storage_stats()
+
     def reset(self) -> None:
         """Zero the counters (entries on disk are untouched).
 
@@ -433,7 +461,71 @@ class ResultCache:
         self.corrupt = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"ResultCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+        return (
+            f"ResultCache({str(self.root)!r}, backend={self.backend.kind!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+def unit_record(
+    solved: np.ndarray,
+    failure: np.ndarray,
+    objective_values: "np.ndarray | None" = None,
+    method_name: str = "",
+    info: "dict | None" = None,
+) -> dict:
+    """Build the canonical sweep-unit record from result arrays.
+
+    *info* carries the unit's solve-detail record (search probe totals,
+    a convergence flag) when the method reported one, so a warm run's
+    ledger still attributes convergence per unit.  Entries without one
+    omit the field entirely — the batched and per-row paths keep
+    writing byte-identical payloads for methods that report no details.
+    """
+    record = {
+        "method": method_name,
+        "n_points": int(len(solved)),
+        "solved": [bool(s) for s in solved],
+        "failure": [float(f) for f in failure],
+        "objective_values": None
+        if objective_values is None
+        else [_encode_value(v) for v in objective_values],
+    }
+    if info is not None:
+        record["info"] = info
+    return record
+
+
+def unit_arrays(
+    record: dict, n_points: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray | None, dict | None]":
+    """Decode a sweep-unit record into ``(solved, failure,
+    objective_values, info)`` arrays.
+
+    ``objective_values`` is None for entries stored without them;
+    ``info`` is the per-unit solve detail record when present.  Raises
+    (``ValueError`` / ``KeyError`` / ``TypeError``) on anything
+    malformed — :meth:`ResultCache.get_record` uses this as the unit
+    validity check, mapping failures to its ``corrupt`` counter.
+    """
+    if record["repro_cache"] != CACHE_FORMAT:
+        raise ValueError("cache format mismatch")
+    solved = np.asarray(record["solved"], dtype=bool)
+    failure = np.asarray(record["failure"], dtype=float)
+    if solved.shape != (n_points,) or failure.shape != (n_points,):
+        raise ValueError("cache entry shape mismatch")
+    objective_values = None
+    if record.get("objective_values") is not None:
+        # float() also decodes the "inf" tokens _encode_value writes.
+        objective_values = np.array(
+            [float(v) for v in record["objective_values"]], dtype=float
+        )
+        if objective_values.shape != (n_points,):
+            raise ValueError("cache entry shape mismatch")
+    info = record.get("info")
+    if info is not None and not isinstance(info, dict):
+        raise ValueError("cache entry info mismatch")
+    return solved, failure, objective_values, info
 
 
 def _pair_digest(chain, platform) -> str:
@@ -457,12 +549,34 @@ def _encode_value(value: float) -> "float | str":
     return value if math.isfinite(value) else repr(value)
 
 
-def resolve_cache(cache: "ResultCache | str | os.PathLike[str] | None") -> "ResultCache | None":
+def resolve_backend(
+    root: "str | os.PathLike[str]", kind: "str | None" = None
+) -> CacheBackend:
+    """Pick the storage backend for the store at *root*.
+
+    Precedence: explicit *kind* > whatever store already lives on disk
+    (a ``cache.db`` means sqlite, fan-out entries mean files) >
+    ``$REPRO_CACHE_BACKEND`` > the file tree.  On-disk state outranks
+    the environment so flipping ``$REPRO_CACHE_BACKEND`` never silently
+    cold-starts an existing store — switching backends is an explicit
+    ``repro cache migrate``.
+    """
+    if kind is None:
+        kind = detect_backend_kind(root)
+    if kind is None:
+        kind = os.environ.get("REPRO_CACHE_BACKEND") or "files"
+    return make_backend(kind, root)
+
+
+def resolve_cache(
+    cache: "ResultCache | str | os.PathLike[str] | None",
+) -> "ResultCache | None":
     """Normalize a harness ``cache`` argument.
 
     ``None`` falls back to ``$REPRO_CACHE_DIR`` (no cache when unset); a
-    path becomes a :class:`ResultCache`; an existing cache passes
-    through (so callers can share one counter across sweeps).
+    path becomes a :class:`ResultCache` (backend via
+    :func:`resolve_backend`); an existing cache passes through (so
+    callers can share one counter across sweeps).
     """
     if isinstance(cache, ResultCache):
         return cache

@@ -1,0 +1,148 @@
+"""Storage protocol shared by the result-cache backends.
+
+:class:`repro.experiments.cache.ResultCache` owns key derivation,
+record validation, and the per-process hit/miss counters; a *backend*
+owns only bytes-at-rest.  The protocol is deliberately narrow — a
+keyed text store with a deterministic full scan — so a backend can be
+a file tree, a SQLite database, or anything else that can promise
+atomic per-key visibility.
+
+Canonical encoding
+------------------
+Both shipped backends persist one entry as the same canonical text,
+``json.dumps(payload, sort_keys=True)`` (:func:`encode_payload`).
+Content-hash keys are derived upstream from ingredients, never from
+stored bytes, but the *entries* being byte-identical across backends
+is what makes migration verifiable: :func:`repro.experiments.cache.migrate_cache`
+compares :func:`payload_digest` row digests between the source and
+destination scans, and a file→sqlite→file round trip reproduces the
+original tree bit for bit.
+
+Error contract
+--------------
+``load`` returns ``None`` for an absent key and raises ``ValueError``
+(or ``OSError``) for an entry that exists but cannot be decoded —
+:class:`~repro.experiments.cache.ResultCache` maps the former to a
+plain miss and the latter to its ``corrupt`` counter before
+discarding the entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+from typing import Iterator, Protocol, runtime_checkable
+
+__all__ = [
+    "CacheBackend",
+    "decode_payload",
+    "detect_backend_kind",
+    "encode_payload",
+    "make_backend",
+    "payload_digest",
+]
+
+
+def encode_payload(payload: dict) -> str:
+    """The canonical entry text: sorted-keys JSON.
+
+    Every store path routes through this (or persists text produced by
+    it), so two backends holding the same records hold the same bytes.
+    """
+    return json.dumps(payload, sort_keys=True)
+
+
+def decode_payload(text: str) -> dict:
+    """Decode canonical entry text, raising ``ValueError`` when the
+    stored bytes are not a JSON object (torn write, disk damage)."""
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise ValueError(f"undecodable cache entry: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("cache entry is not a JSON object")
+    return payload
+
+
+def payload_digest(text: str) -> str:
+    """Row digest used by the migration verification pass."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What :class:`~repro.experiments.cache.ResultCache` needs from storage."""
+
+    #: Backend selector token ("files", "sqlite") — also the telemetry
+    #: label on the per-backend ``cache.backend.*`` counters.
+    kind: str
+    #: Directory the store lives under.
+    root: pathlib.Path
+
+    def load(self, key: str) -> "dict | None":
+        """Record stored under *key*, ``None`` if absent; raises
+        ``ValueError``/``OSError`` on an undecodable entry."""
+
+    def store(self, key: str, payload: dict) -> None:
+        """Persist *payload* under *key* (canonical encoding), atomically:
+        a concurrent reader sees the old entry, the new one, or none —
+        never a torn one."""
+
+    def store_text(self, key: str, text: str) -> None:
+        """Persist pre-encoded entry text verbatim (the migration path —
+        copying text instead of re-encoding keeps row bytes identical)."""
+
+    def scan(self) -> "Iterator[tuple[str, str]]":
+        """Yield every ``(key, entry_text)`` in deterministic (sorted key)
+        order — the substrate for migration and its verification pass."""
+
+    def discard(self, key: str) -> None:
+        """Drop *key* if present (corrupt-entry recovery); absent is fine."""
+
+    def storage_stats(self) -> dict:
+        """Persistent on-disk totals (entry count, bytes) — what
+        ``repro cache stats`` reports without a live sweep.  Never
+        creates the store."""
+
+    def vacuum(self) -> dict:
+        """Reclaim dead space (stale temp files / free database pages);
+        returns a small report dict."""
+
+    def clear(self) -> None:
+        """Remove the whole store from disk (migration consumes the
+        source so backend auto-detection stays unambiguous)."""
+
+    def close(self) -> None:
+        """Release any held handles; the store itself stays on disk."""
+
+
+def make_backend(kind: str, root: "str | os.PathLike[str]") -> CacheBackend:
+    """Instantiate a backend by its selector token."""
+    from repro.experiments.cache.filetree import FileTreeBackend
+    from repro.experiments.cache.sqlite import SQLiteBackend
+
+    kinds = {"files": FileTreeBackend, "sqlite": SQLiteBackend}
+    try:
+        factory = kinds[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {kind!r}; expected one of {sorted(kinds)}"
+        ) from None
+    return factory(root)
+
+
+def detect_backend_kind(root: "str | os.PathLike[str]") -> "str | None":
+    """What store already lives under *root*: ``"sqlite"`` if it holds a
+    ``cache.db``, ``"files"`` if it holds a file-tree entry, ``None``
+    when empty or absent (nothing to preserve — any backend may start
+    fresh)."""
+    from repro.experiments.cache.sqlite import DB_NAME
+
+    root = pathlib.Path(root)
+    if (root / DB_NAME).exists():
+        return "sqlite"
+    if root.is_dir() and next(root.glob("??/*.json"), None) is not None:
+        return "files"
+    return None

@@ -1,0 +1,126 @@
+"""File-per-key backend — the original cache layout.
+
+One JSON file per entry::
+
+    <root>/<key[:2]>/<key>.json
+
+Writes are atomic (``tempfile.mkstemp`` in the destination directory +
+``os.replace``), so concurrent runs sharing a cache directory never
+observe a partial entry.  Zero shared state beyond the filesystem: no
+handles, nothing to pickle, works on any shared POSIX mount.  Its
+weakness — one inode per entry and rename-level write concurrency —
+is what the :mod:`~repro.experiments.cache.sqlite` backend exists to
+fix for fleet-scale sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Iterator
+
+from repro.experiments.cache.backend import decode_payload, encode_payload
+
+__all__ = ["FileTreeBackend"]
+
+
+class FileTreeBackend:
+    """See the module docstring; protocol in
+    :class:`~repro.experiments.cache.backend.CacheBackend`."""
+
+    kind = "files"
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = pathlib.Path(root)
+
+    def path(self, key: str) -> pathlib.Path:
+        """Where *key*'s entry lives (two-hex-char fan-out directories)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> "dict | None":
+        try:
+            text = self.path(key).read_text()
+        except FileNotFoundError:
+            return None
+        return decode_payload(text)
+
+    def store(self, key: str, payload: dict) -> None:
+        self.store_text(key, encode_payload(payload))
+
+    def store_text(self, key: str, text: str) -> None:
+        """Atomic write: temp file in the destination dir + ``os.replace``."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def discard(self, key: str) -> None:
+        try:
+            self.path(key).unlink()
+        except OSError:
+            pass
+
+    def scan(self) -> "Iterator[tuple[str, str]]":
+        if not self.root.is_dir():
+            return
+        for prefix in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for entry in sorted(prefix.glob("*.json")):
+                yield entry.stem, entry.read_text()
+
+    def storage_stats(self) -> dict:
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for entry in self.root.rglob("*.json"):
+                entries += 1
+                size += entry.stat().st_size
+        return {"backend": self.kind, "entries": entries, "bytes": size}
+
+    def vacuum(self) -> dict:
+        """Sweep leftovers an interrupted writer can leave behind:
+        orphaned ``*.tmp`` files and fan-out directories emptied by
+        corrupt-entry recovery."""
+        removed_tmp = 0
+        removed_dirs = 0
+        if self.root.is_dir():
+            for tmp in list(self.root.rglob("*.tmp")):
+                try:
+                    tmp.unlink()
+                    removed_tmp += 1
+                except OSError:
+                    pass
+            for prefix in list(self.root.iterdir()):
+                if prefix.is_dir():
+                    try:
+                        prefix.rmdir()
+                        removed_dirs += 1
+                    except OSError:  # not empty — still holds entries
+                        pass
+        return {
+            "backend": self.kind,
+            "removed_tmp": removed_tmp,
+            "removed_dirs": removed_dirs,
+        }
+
+    def clear(self) -> None:
+        if not self.root.is_dir():
+            return
+        for entry in list(self.root.rglob("*.json")):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        self.vacuum()
+
+    def close(self) -> None:
+        pass

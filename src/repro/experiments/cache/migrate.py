@@ -1,0 +1,85 @@
+"""Stream a cache store between backends, with verification.
+
+``repro cache migrate --to sqlite`` (or ``--to files``) is the one
+sanctioned way to switch a cache directory's backend: backend
+auto-detection (:func:`~repro.experiments.cache.backend.detect_backend_kind`)
+keys on what is on disk, so a directory must hold exactly one store.
+Migration therefore streams every entry into the destination, verifies
+the copy, and then consumes the source.
+
+Verification is a full second scan of the destination compared against
+the source by row digest (:func:`~repro.experiments.cache.backend.payload_digest`
+over the raw entry text — which :meth:`store_text` copied verbatim, so
+a clean migration is byte-identical, not merely equivalent).  On any
+mismatch the destination is removed and the source left untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.experiments.cache.backend import (
+    detect_backend_kind,
+    make_backend,
+    payload_digest,
+)
+
+__all__ = ["migrate_cache"]
+
+
+def migrate_cache(
+    root: "str | os.PathLike[str]",
+    to: str,
+    keep_source: bool = False,
+) -> dict:
+    """Move the store under *root* to the *to* backend in place.
+
+    Returns a report dict (``from``/``to``/``entries``/``verified``/
+    ``source_removed``) — what ``repro cache migrate`` prints.  With
+    *keep_source* the source store survives as a backup; note the
+    directory then holds both stores and auto-detection prefers the
+    SQLite one.
+    """
+    root = pathlib.Path(root)
+    if to not in ("files", "sqlite"):
+        raise ValueError(f"unknown migration target {to!r}; use 'files' or 'sqlite'")
+    source_kind = detect_backend_kind(root)
+    if source_kind is None:
+        raise ValueError(f"no cache store found under {root}")
+    if source_kind == to:
+        raise ValueError(f"cache at {root} already uses the {to!r} backend")
+
+    source = make_backend(source_kind, root)
+    dest = make_backend(to, root)
+    try:
+        digests = {}
+        for key, text in source.scan():
+            dest.store_text(key, text)
+            digests[key] = payload_digest(text)
+
+        copied = {key: payload_digest(text) for key, text in dest.scan()}
+        if copied != digests:
+            missing = sorted(set(digests) - set(copied))
+            torn = sorted(
+                k for k in set(digests) & set(copied) if digests[k] != copied[k]
+            )
+            dest.clear()
+            raise RuntimeError(
+                f"migration verification failed ({len(missing)} missing, "
+                f"{len(torn)} mismatched row digests); source left untouched"
+            )
+
+        if not keep_source:
+            source.clear()
+        return {
+            "root": str(root),
+            "from": source_kind,
+            "to": to,
+            "entries": len(digests),
+            "verified": len(copied),
+            "source_removed": not keep_source,
+        }
+    finally:
+        source.close()
+        dest.close()

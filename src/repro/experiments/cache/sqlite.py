@@ -1,0 +1,238 @@
+"""SQLite backend — one ``cache.db``, WAL mode, transactional writers.
+
+The file-tree backend is safe under concurrency but pays one inode and
+one rename per entry; a fleet of sweep processes hammering a shared
+cache directory turns that into metadata pressure.  This backend keeps
+the whole store in a single SQLite database::
+
+    <root>/cache.db          (plus SQLite's -wal / -shm sidecars)
+
+* **WAL journal** — readers never block the writer and vice versa;
+  lookups during a concurrent sweep see a consistent snapshot.
+* **``BEGIN IMMEDIATE`` writers** — every mutation takes the write
+  lock up front and commits or rolls back atomically, so a reader
+  observes an entry fully or not at all: the transactional equivalent
+  of the file tree's mkstemp + ``os.replace``.
+* **``schema_version`` table** — future format bumps become schema
+  migrations instead of cold caches; an unknown on-disk version raises
+  instead of guessing.
+
+Entries are rows of ``entries(key TEXT PRIMARY KEY, payload TEXT)``
+holding exactly the canonical sorted-keys JSON the file tree holds, so
+stores are byte-identical across backends and a migration round trip
+is verifiable by row digest.
+
+Process model: connections are opened lazily and keyed to the owning
+PID; pickling drops the handle (``__getstate__``), so a backend that
+crosses a process boundary — worker shards, ``ProcessPoolExecutor``
+fan-out — reopens its own connection in the child instead of sharing
+a file descriptor across a fork.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sqlite3
+from typing import Iterator
+
+from repro.experiments.cache.backend import decode_payload, encode_payload
+
+__all__ = ["DB_NAME", "SCHEMA_VERSION", "SQLiteBackend"]
+
+#: Database filename under the cache root — also the marker
+#: :func:`~repro.experiments.cache.backend.detect_backend_kind` keys on.
+DB_NAME = "cache.db"
+
+#: On-disk schema version (independent of CACHE_FORMAT, which stamps
+#: record *payloads*).  Bump when the table layout changes and add a
+#: migration step in :mod:`~repro.experiments.cache.migrate`.
+SCHEMA_VERSION = 1
+
+#: How long a writer waits for the write lock before giving up —
+#: generous because the stress regime is many short transactions, not
+#: long holders.
+_BUSY_TIMEOUT_S = 30.0
+
+
+class SQLiteBackend:
+    """See the module docstring; protocol in
+    :class:`~repro.experiments.cache.backend.CacheBackend`."""
+
+    kind = "sqlite"
+
+    def __init__(self, root: "str | os.PathLike[str]") -> None:
+        self.root = pathlib.Path(root)
+        self._conn: "sqlite3.Connection | None" = None
+        self._pid: "int | None" = None
+
+    @property
+    def db_path(self) -> pathlib.Path:
+        return self.root / DB_NAME
+
+    # -- connection management -------------------------------------------
+
+    def connection(self) -> sqlite3.Connection:
+        """The calling process's connection, opened (and the schema
+        ensured) on first use.  A PID mismatch means we were carried
+        across a fork: the inherited handle is abandoned unreleased —
+        closing it here could checkpoint under the parent — and a fresh
+        one is opened for this process."""
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(
+                self.db_path, timeout=_BUSY_TIMEOUT_S, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            _ensure_schema(conn)
+            self._conn = conn
+            self._pid = pid
+        return self._conn
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_conn"] = None  # handles never cross a pickle boundary
+        state["_pid"] = None
+        return state
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None
+
+    # -- storage protocol ------------------------------------------------
+
+    def load(self, key: str) -> "dict | None":
+        row = (
+            self.connection()
+            .execute("SELECT payload FROM entries WHERE key = ?", (key,))
+            .fetchone()
+        )
+        if row is None:
+            return None
+        return decode_payload(row[0])
+
+    def store(self, key: str, payload: dict) -> None:
+        self.store_text(key, encode_payload(payload))
+
+    def store_text(self, key: str, text: str) -> None:
+        """Transactional write: ``BEGIN IMMEDIATE`` + upsert + commit."""
+        conn = self.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+                (key, text),
+            )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def discard(self, key: str) -> None:
+        conn = self.connection()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def scan(self) -> "Iterator[tuple[str, str]]":
+        if not self.db_path.exists():
+            return
+        cursor = self.connection().execute(
+            "SELECT key, payload FROM entries ORDER BY key"
+        )
+        yield from cursor
+
+    def storage_stats(self) -> dict:
+        stats = {
+            "backend": self.kind,
+            "entries": 0,
+            "bytes": 0,
+            "schema_version": None,
+        }
+        if not self.db_path.exists():
+            return stats
+        conn = self.connection()
+        stats["entries"] = conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        stats["schema_version"] = conn.execute(
+            "SELECT version FROM schema_version"
+        ).fetchone()[0]
+        stats["bytes"] = self._disk_bytes()
+        return stats
+
+    def vacuum(self) -> dict:
+        """Checkpoint the WAL into the main database and ``VACUUM``
+        free pages left by corrupt-entry deletions."""
+        if not self.db_path.exists():
+            return {"backend": self.kind, "bytes_before": 0, "bytes_after": 0}
+        before = self._disk_bytes()
+        conn = self.connection()
+        conn.execute("VACUUM")
+        # The rewrite itself lands in the WAL; fold it back and truncate
+        # so the reclaimed space is visible on disk, not just logical.
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return {
+            "backend": self.kind,
+            "bytes_before": before,
+            "bytes_after": self._disk_bytes(),
+        }
+
+    def clear(self) -> None:
+        self.close()
+        for path in self._disk_paths():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    # -- internals -------------------------------------------------------
+
+    def _disk_paths(self) -> "list[pathlib.Path]":
+        base = str(self.db_path)
+        return [pathlib.Path(base + suffix) for suffix in ("", "-wal", "-shm")]
+
+    def _disk_bytes(self) -> int:
+        total = 0
+        for path in self._disk_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+
+def _ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create (or verify) the schema inside one immediate transaction,
+    so racing first writers serialize instead of tripping over each
+    other's half-created tables."""
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS schema_version (version INTEGER NOT NULL)"
+        )
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS entries "
+            "(key TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+        )
+        row = conn.execute("SELECT version FROM schema_version").fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO schema_version (version) VALUES (?)",
+                (SCHEMA_VERSION,),
+            )
+        elif row[0] != SCHEMA_VERSION:
+            raise ValueError(
+                f"cache.db carries schema version {row[0]}; this release "
+                f"reads version {SCHEMA_VERSION} — migrate or clear the cache"
+            )
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise

@@ -73,6 +73,13 @@ Environment
 ``REPRO_CACHE_DIR``
     Default cache directory when ``cache`` is ``None`` (unset = no
     caching).
+``REPRO_CACHE_BACKEND``
+    Storage backend for fresh cache directories (``files`` default,
+    ``sqlite`` for fleet-shared stores).  Cache lookups and stores
+    happen only in the parent process — worker shards receive columnar
+    payloads, never a cache handle — and the SQLite backend drops its
+    connection on pickling regardless, so handles never cross a
+    process boundary either way.
 """
 
 from __future__ import annotations
@@ -88,7 +95,12 @@ import numpy as np
 
 from repro.algorithms.batch import BatchUnsupported
 from repro.core.ensemble import Ensemble, InstanceView, ensembles_from_instances
-from repro.experiments.cache import ResultCache, resolve_cache
+from repro.experiments.cache import (
+    ResultCache,
+    resolve_cache,
+    unit_arrays,
+    unit_record,
+)
 from repro.experiments.methods import METHODS, Method, UnknownMethodError, get_method
 from repro.obs import telemetry as obs
 from repro.solve.problem import Problem
@@ -644,9 +656,11 @@ def run_sweep(
                         objective=objective,
                         min_reliability=min_reliability,
                     )
-                    hit = store.get(key, n_pts, method_name=method.name)
+                    hit = store.get_record(key, method_name=method.name, n_points=n_pts)
                     if hit is not None:
-                        unit_solved, unit_failure, unit_values, unit_info = hit
+                        unit_solved, unit_failure, unit_values, unit_info = unit_arrays(
+                            hit, n_pts
+                        )
                         solved[mi, :, ii] = unit_solved
                         failure[mi, :, ii] = unit_failure
                         if unit_values is not None:
@@ -682,8 +696,8 @@ def run_sweep(
         failure[mi, :, ii] = unit_failure
         objective_values[mi, :, ii] = unit_values
         if store is not None and key is not None:
-            store.put(key, unit_solved, unit_failure, unit_values,
-                      method_name=methods[mi].name, info=info)
+            store.put_record(key, unit_record(unit_solved, unit_failure, unit_values,
+                                              method_name=methods[mi].name, info=info))
         event = {
             "method": methods[mi].name,
             "instance": ii,

@@ -1,0 +1,14 @@
+# repro-lint-fixture: module=repro.experiments.cache.sqlite
+"""Autocommit SQL mutations in the artifact scope: no rollback point,
+and a concurrent reader can observe a torn multi-statement update."""
+
+
+def store(conn, key: str, text: str) -> None:
+    conn.execute(  # repro-lint-expect: IO002
+        "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+        (key, text),
+    )
+
+
+def discard(conn, key: str) -> None:
+    conn.execute("DELETE FROM entries WHERE key = ?", (key,))  # repro-lint-expect: IO002

@@ -1,0 +1,25 @@
+# repro-lint-fixture: module=repro.experiments.cache.sqlite
+"""The sanctioned spelling: the mutation lives in a function that opens
+an explicit immediate transaction — the database equivalent of the
+mkstemp + os.replace idiom, so readers observe entries fully or not at
+all."""
+
+
+def store(conn, key: str, text: str) -> None:
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        conn.execute(
+            "INSERT OR REPLACE INTO entries (key, payload) VALUES (?, ?)",
+            (key, text),
+        )
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise
+
+
+def load(conn, key: str):
+    # Reads need no transaction: WAL snapshots keep them consistent.
+    return conn.execute(
+        "SELECT payload FROM entries WHERE key = ?", (key,)
+    ).fetchone()

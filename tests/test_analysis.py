@@ -80,7 +80,7 @@ def test_fixture_corpus(case):
 
 
 def test_every_rule_has_a_triggering_fixture():
-    """The corpus demonstrates all 15 rules, and the catalog names them."""
+    """The corpus demonstrates all 16 rules, and the catalog names them."""
     triggered = set()
     for case in corpus_cases():
         for path in case_files(FIXTURES / case):
@@ -101,11 +101,11 @@ def test_deleting_cache_ingredient_is_caught(tmp_path):
     from the real ``experiments/cache.py`` and the completeness checker
     must light up every now-uncovered read on the solve path."""
     shutil.copytree(REPO_ROOT / "src" / "repro", tmp_path / "repro")
-    cache = tmp_path / "repro" / "experiments" / "cache.py"
+    cache = tmp_path / "repro" / "experiments" / "cache" / "__init__.py"
     text = cache.read_text()
     lines = [l for l in text.splitlines() if '"objective": objective' not in l]
     assert len(lines) == len(text.splitlines()) - 1, (
-        "expected exactly one objective-ingredient line in cache.py"
+        "expected exactly one objective-ingredient line in the cache package"
     )
     cache.write_text("\n".join(lines) + "\n")
     findings = run_lint([tmp_path], root=tmp_path)

@@ -64,7 +64,7 @@ def sweep_pair(tmp_path, spec, method, objective):
 
 
 def cache_keys(cache):
-    return {p.name for p in cache.root.rglob("*.json")}
+    return {key for key, _ in cache.backend.scan()}
 
 
 def n_units(sweep):

@@ -387,10 +387,9 @@ class TestGridProbeCache:
         cache = ResultCache(tmp_path / "cache")
         key = cache.probe_key("heuristic", Problem(chain, hom))
         cache.put_record(key, {"feasible": True, "period": 1.0, "latency": 2.0})
-        path = cache._path(key)
-        path.write_text("{not json")
+        cache.backend.store_text(key, "{not json")
         assert cache.get_record(key) is None
-        assert not path.exists()  # dropped for recomputation
+        assert cache.backend.load(key) is None  # dropped for recomputation
 
     def test_field_stripped_probe_record_recovers(self, tmp_path):
         """A well-formed record missing the probe fields must be treated
@@ -400,10 +399,11 @@ class TestGridProbeCache:
         cold = derive_bounds_grid(
             "section8-hom", n_points=4, n_instances=2, cache=cache
         )
-        for entry in (tmp_path / "cache").rglob("*.json"):
-            payload = entry.read_text()
+        for key, payload in list(cache.backend.scan()):
             if "grid-probe" in payload:
-                entry.write_text(payload.replace('"feasible"', '"stripped"'))
+                cache.backend.store_text(
+                    key, payload.replace('"feasible"', '"stripped"')
+                )
         again = derive_bounds_grid(
             "section8-hom", n_points=4, n_instances=2, cache=cache
         )

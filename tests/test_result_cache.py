@@ -1,5 +1,7 @@
 """The on-disk result cache: round-trips, stable keys, invalidation,
-corruption recovery, and the zero-solve warm-run guarantee."""
+corruption recovery, and the zero-solve warm-run guarantee — exercised
+against both storage backends, plus the deprecated ``get``/``put``
+shims."""
 
 import json
 import os
@@ -12,11 +14,18 @@ import pytest
 
 from repro.core import Platform, TaskChain
 from repro.experiments import Method, ResultCache, get_method, homogeneous_suite, run_sweep
-from repro.experiments.cache import CACHE_FORMAT, resolve_cache
+from repro.experiments.cache import (
+    CACHE_FORMAT,
+    resolve_cache,
+    unit_arrays,
+    unit_record,
+)
 from repro.io import content_hash
 from repro.solve import Problem
 
 BOUNDS = [(100.0, 750.0), (300.0, 750.0)]
+
+BACKENDS = ["files", "sqlite"]
 
 
 def problems(chain, platform, bounds=BOUNDS):
@@ -24,9 +33,9 @@ def problems(chain, platform, bounds=BOUNDS):
     return [Problem(chain, platform, P, L) for P, L in bounds]
 
 
-@pytest.fixture
-def cache(tmp_path):
-    return ResultCache(tmp_path / "cache")
+@pytest.fixture(params=BACKENDS)
+def cache(request, tmp_path):
+    return ResultCache(tmp_path / "cache", backend=request.param)
 
 
 @pytest.fixture(scope="module")
@@ -34,12 +43,45 @@ def instance():
     return homogeneous_suite(n_instances=1, seed=8)[0]
 
 
+def put_unit(cache, key, solved, failure, objective_values=None, info=None):
+    """Store a unit through the canonical record API."""
+    cache.put_record(
+        key, unit_record(solved, failure, objective_values, info=info)
+    )
+
+
+def get_unit(cache, key, n_points):
+    """Look a unit up through the canonical record API."""
+    record = cache.get_record(key, n_points=n_points)
+    return None if record is None else unit_arrays(record, n_points)
+
+
+def entry_keys(cache):
+    return [key for key, _ in cache.backend.scan()]
+
+
+def entry_text(cache, key):
+    for k, text in cache.backend.scan():
+        if k == key:
+            return text
+    return None
+
+
+def plant_entry(cache, key, text):
+    """Put raw entry text on disk (damage injection, stale formats) —
+    ``store_text`` is the one backend-agnostic way to write bytes the
+    record API would refuse."""
+    cache.backend.store_text(key, text)
+
+
 class TestRoundTrip:
     def test_put_get(self, cache):
         solved = np.array([True, False])
         failure = np.array([1.25e-4, 1.0])
-        cache.put("ab" * 32, solved, failure, method_name="heur-l")
-        got = cache.get("ab" * 32, 2)
+        cache.put_record(
+            "ab" * 32, unit_record(solved, failure, method_name="heur-l")
+        )
+        got = get_unit(cache, "ab" * 32, 2)
         assert got is not None
         assert np.array_equal(got[0], solved)
         # Floats survive JSON exactly (shortest-round-trip repr).
@@ -49,27 +91,28 @@ class TestRoundTrip:
         }
 
     def test_miss_on_absent_key(self, cache):
-        assert cache.get("cd" * 32, 2) is None
+        assert cache.get_record("cd" * 32, n_points=2) is None
         assert cache.misses == 1
         assert cache.corrupt == 0  # absent is a plain miss, not damage
 
     def test_info_round_trips_and_defaults_none(self, cache):
         solved = np.array([True])
         failure = np.array([0.5])
-        cache.put("aa" * 32, solved, failure, info={"probes": 7, "converged": True})
-        cache.put("bb" * 32, solved, failure)
-        assert cache.get("aa" * 32, 1)[3] == {"probes": 7, "converged": True}
-        assert cache.get("bb" * 32, 1)[3] is None
+        put_unit(cache, "aa" * 32, solved, failure,
+                 info={"probes": 7, "converged": True})
+        put_unit(cache, "bb" * 32, solved, failure)
+        assert get_unit(cache, "aa" * 32, 1)[3] == {"probes": 7, "converged": True}
+        assert get_unit(cache, "bb" * 32, 1)[3] is None
         # Entries without info omit the field entirely (byte-identity of
         # the batched and per-row write paths for detail-free methods).
-        assert "info" not in json.loads(cache._path("bb" * 32).read_text())
+        assert "info" not in json.loads(entry_text(cache, "bb" * 32))
 
     def test_hit_rate_and_reset(self, cache):
         assert cache.stats()["hit_rate"] is None  # no lookups yet
-        cache.put("ab" * 32, np.array([True]), np.array([0.5]))
-        cache.get("ab" * 32, 1)
-        cache.get("cd" * 32, 1)
-        cache.get("ef" * 32, 1)
+        put_unit(cache, "ab" * 32, np.array([True]), np.array([0.5]))
+        get_unit(cache, "ab" * 32, 1)
+        get_unit(cache, "cd" * 32, 1)
+        get_unit(cache, "ef" * 32, 1)
         stats = cache.stats()
         assert stats["hit_rate"] == pytest.approx(1 / 3)
         cache.reset()
@@ -77,8 +120,57 @@ class TestRoundTrip:
             "hits": 0, "misses": 0, "puts": 0, "corrupt": 0, "hit_rate": None,
         }
         # Entries survive a counter reset — only the stats are zeroed.
-        assert cache.get("ab" * 32, 1) is not None
+        assert get_unit(cache, "ab" * 32, 1) is not None
         assert cache.stats()["hit_rate"] == 1.0
+
+    def test_storage_stats_report_persistent_totals(self, cache):
+        empty = cache.storage_stats()
+        assert empty["backend"] == cache.backend.kind
+        assert empty["entries"] == 0
+        put_unit(cache, "ab" * 32, np.array([True]), np.array([0.5]))
+        put_unit(cache, "cd" * 32, np.array([False]), np.array([1.0]))
+        totals = cache.storage_stats()
+        assert totals["entries"] == 2 and totals["bytes"] > 0
+        # Unlike stats(), the totals survive a fresh handle on the same
+        # root — they describe the store, not this process's lookups.
+        fresh = ResultCache(cache.root)
+        assert fresh.backend.kind == cache.backend.kind
+        assert fresh.storage_stats()["entries"] == 2
+
+
+class TestDeprecatedShims:
+    """``get``/``put`` survive one release as warnings-wrapped shims
+    over the record API (tier-1 runs under -W error::DeprecationWarning,
+    so any internal caller left behind fails loudly)."""
+
+    def test_put_shim_round_trips(self, cache):
+        solved = np.array([True, False])
+        failure = np.array([0.25, 1.0])
+        with pytest.deprecated_call(match="put_record"):
+            cache.put("ab" * 32, solved, failure, method_name="heur-l",
+                      info={"probes": 3})
+        record = cache.get_record("ab" * 32, n_points=2)
+        assert record["method"] == "heur-l" and record["info"] == {"probes": 3}
+
+    def test_get_shim_round_trips(self, cache):
+        put_unit(cache, "ab" * 32, np.array([True]), np.array([0.5]),
+                 objective_values=np.array([float("inf")]))
+        with pytest.deprecated_call(match="get_record"):
+            got = cache.get("ab" * 32, 1)
+        assert got[0][0] and got[2][0] == float("inf")
+        with pytest.deprecated_call(match="get_record"):
+            assert cache.get("cd" * 32, 1) is None
+
+    def test_shims_write_identical_bytes(self, cache):
+        """A shim put and a record put produce the same entry text."""
+        solved, failure = np.array([True]), np.array([0.125])
+        with pytest.deprecated_call():
+            cache.put("ab" * 32, solved, failure, method_name="m")
+        cache.put_record(
+            "cd" * 32, unit_record(solved, failure, method_name="m")
+        )
+        texts = {key: text for key, text in cache.backend.scan()}
+        assert texts["ab" * 32] == texts["cd" * 32]
 
 
 class TestKeyStability:
@@ -105,6 +197,16 @@ class TestKeyStability:
             capture_output=True, text=True, check=True, env=env,
         ).stdout.strip()
         assert here == there
+
+    def test_keys_are_backend_independent(self, instance, tmp_path):
+        chain, platform = instance
+        keys = {
+            ResultCache(tmp_path / kind, backend=kind).unit_key(
+                "heur-l", problems(chain, platform)
+            )
+            for kind in BACKENDS
+        }
+        assert len(keys) == 1
 
     def test_invalidation_on_ingredient_change(self, instance):
         chain, platform = instance
@@ -143,8 +245,8 @@ class TestCorruptionRecovery:
     def _one_entry(self, cache):
         chain, platform = homogeneous_suite(n_instances=1, seed=8)[0]
         key = cache.unit_key("x", problems(chain, platform))
-        cache.put(key, np.array([True, True]), np.array([0.5, 0.5]))
-        return key, cache._path(key)
+        put_unit(cache, key, np.array([True, True]), np.array([0.5, 0.5]))
+        return key
 
     @pytest.mark.parametrize(
         "garbage",
@@ -158,45 +260,45 @@ class TestCorruptionRecovery:
         ],
     )
     def test_corrupt_entry_is_dropped_and_recomputed(self, cache, garbage):
-        key, path = self._one_entry(cache)
-        path.write_text(garbage)
-        assert cache.get(key, 2) is None  # treated as a miss ...
-        assert not path.exists()  # ... and deleted
+        key = self._one_entry(cache)
+        plant_entry(cache, key, garbage)
+        assert cache.get_record(key, n_points=2) is None  # treated as a miss ...
+        assert entry_text(cache, key) is None  # ... and discarded
         assert cache.misses == 1 and cache.corrupt == 1  # ... and counted
-        cache.put(key, np.array([True, False]), np.array([0.25, 1.0]))
-        got = cache.get(key, 2)  # recovery: rewritten entry reads back
+        put_unit(cache, key, np.array([True, False]), np.array([0.25, 1.0]))
+        got = get_unit(cache, key, 2)  # recovery: rewritten entry reads back
         assert got is not None and got[0][0] and not got[0][1]
         assert cache.corrupt == 1  # the healthy re-read adds nothing
 
     def test_truncated_entry_counts_as_corrupt_not_plain_miss(self, cache):
         """Regression: a damaged entry used to be indistinguishable from
         an absent one — both only bumped ``misses``."""
-        key, path = self._one_entry(cache)
-        path.write_text(path.read_text()[:12])  # simulate interrupted write
-        assert cache.get(key, 2) is None
+        key = self._one_entry(cache)
+        plant_entry(cache, key, entry_text(cache, key)[:12])  # interrupted write
+        assert cache.get_record(key, n_points=2) is None
         assert cache.stats() == {
             "hits": 0, "misses": 1, "puts": 1, "corrupt": 1, "hit_rate": 0.0,
         }
         # A lookup of a key that was never written stays corrupt-free.
-        assert cache.get("ef" * 32, 2) is None
+        assert cache.get_record("ef" * 32, n_points=2) is None
         assert cache.stats() == {
             "hits": 0, "misses": 2, "puts": 1, "corrupt": 1, "hit_rate": 0.0,
         }
 
     def test_corrupt_record_lookup_counts_too(self, cache):
         cache.put_record("12" * 32, {"kind": "grid-probe", "period": 4.0})
-        cache._path("12" * 32).write_text("{oops")
+        plant_entry(cache, "12" * 32, "{oops")
         assert cache.get_record("12" * 32) is None
         assert cache.corrupt == 1 and cache.misses == 1
 
     def test_corrupt_entry_heals_through_run_sweep(self, cache, instance):
         methods = [get_method("heur-l")]
         first = run_sweep([instance], methods, BOUNDS, cache=cache)
-        (entry,) = [p for p in cache.root.rglob("*.json")]
-        entry.write_text("truncated garbag")
+        (key,) = entry_keys(cache)
+        plant_entry(cache, key, "truncated garbag")
         again = run_sweep([instance], methods, BOUNDS, cache=cache)
         assert np.array_equal(first.failure, again.failure)
-        assert json.loads(entry.read_text())["repro_cache"] == CACHE_FORMAT
+        assert json.loads(entry_text(cache, key))["repro_cache"] == CACHE_FORMAT
         assert cache.stats()["corrupt"] == 1
 
 
@@ -286,13 +388,11 @@ class TestLegacyPathRemoved:
         key = cache.unit_key("heur-l", problems(chain, platform))
         # Plant a format-3-shaped payload under the format-4 key: the
         # stale stamp must read as corrupt, not silently replay.
-        path = cache._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps({
+        plant_entry(cache, key, json.dumps({
             "repro_cache": 3, "method": "heur-l",
             "n_points": 2, "solved": [True, False], "failure": [0.125, 1.0],
         }))
-        assert cache.get(key, 2) is None
+        assert cache.get_record(key, n_points=2) is None
         assert cache.stats() == {
             "hits": 0, "misses": 1, "puts": 0, "corrupt": 1, "hit_rate": 0.0,
         }
