@@ -19,12 +19,18 @@
   :func:`minimize_period` (binary search honoring a latency bound) and
   :func:`minimize_latency` (Pareto-frontier scan under a reliability
   floor).
-* Batched kernels (:mod:`repro.algorithms.batch`) —
-  :func:`batch_heuristic_best` evaluates a Section 7 heuristic over
-  every row of a columnar ensemble in one call, bit-identical to the
-  per-instance loop; :func:`heuristic_solve_batch` packages it as the
-  registry's ``solve_batch`` capability, and :class:`BatchUnsupported`
-  is the fallback signal for shapes the kernels do not cover.
+* Batched kernels (:mod:`repro.algorithms.batch`,
+  :mod:`repro.algorithms.batch_dp`, :mod:`repro.algorithms.batch_search`)
+  — :func:`batch_heuristic_best` evaluates a Section 7 heuristic over
+  every row of a columnar ensemble in one call;
+  :func:`batch_minimize_period` / :func:`batch_minimize_latency` do
+  the same for the converse objectives on homogeneous rows, and
+  :func:`batch_bisection_search` for the heterogeneous searches.  All
+  are bit-identical to the per-instance loop;
+  :func:`heuristic_solve_batch` / :func:`search_solve_batch` package
+  them as the registry's ``solve_batch`` capability, and
+  :class:`BatchUnsupported` is the fallback signal (with a
+  machine-readable ``reason``) for shapes the kernels do not cover.
 """
 
 from repro.algorithms.result import SolveResult
@@ -40,6 +46,8 @@ from repro.algorithms.batch import (
     batch_heuristic_best,
     heuristic_solve_batch,
 )
+from repro.algorithms.batch_dp import batch_minimize_latency, batch_minimize_period
+from repro.algorithms.batch_search import batch_bisection_search, search_solve_batch
 from repro.algorithms.heuristics import (
     heur_l_intervals,
     heur_p_intervals,
@@ -68,7 +76,11 @@ __all__ = [
     "algo_alloc_het",
     "BatchUnsupported",
     "batch_heuristic_best",
+    "batch_minimize_latency",
+    "batch_minimize_period",
+    "batch_bisection_search",
     "heuristic_solve_batch",
+    "search_solve_batch",
     "heur_l_intervals",
     "heur_p_intervals",
     "heuristic_best",

@@ -32,21 +32,37 @@ That contract dictates the implementation style:
 
 Scope
 -----
-The kernels cover the cases where candidate divisions and allocations
-are bounds-independent: homogeneous platforms (Algo-Alloc takes no
-bounds there), the paper's ``"reliability"`` objective, no reliability
-floor, and unseeded methods.  Anything else raises
-:class:`BatchUnsupported`, and callers — the harness, the worker
+The heuristic kernels cover homogeneous *and* heterogeneous rows of
+the paper's ``"reliability"`` objective, with or without a reliability
+floor, for unseeded methods:
+
+* **Homogeneous rows** — divisions and Algo-Alloc are both
+  bounds-independent, so one candidate table serves every sweep point
+  (:class:`_HomTable`).
+* **Heterogeneous rows** — divisions are still chain-only, but the
+  Section 7.2 allocation filters on the period bound, so every probe
+  re-runs a lockstep Algo-Alloc across all rows at once
+  (:class:`_HetTable` / :func:`_algo_alloc_het_lockstep`).
+* **Floors** — feasible-best maximizes log-reliability, so masking
+  sub-floor candidates before the argmax is exactly the scalar
+  select-then-check.
+
+Other objectives raise :class:`BatchUnsupported` (with a
+machine-readable ``reason``), and callers — the harness, the worker
 shards — fall back to the per-row path.  Fallback is a contract, not
-an error: a heterogeneous ensemble simply takes the object-level
-route it always took.
+an error.  The converse-objective kernels live in
+:mod:`repro.algorithms.batch_dp` (dp-period / dp-latency) and
+:mod:`repro.algorithms.batch_search` (the bisection searches, built on
+this module's probe tables).
 
 Entry points
 ------------
 :func:`batch_heuristic_best` is the kernel;
 :func:`heuristic_solve_batch` packages it as the ``solve_batch``
 capability the method registry attaches to ``heur-l`` / ``heur-p`` /
-``heuristic`` (see :mod:`repro.experiments.methods`).
+``heuristic`` (see :mod:`repro.experiments.methods`);
+:func:`heuristic_probe_tables` exposes the per-platform-kind probe
+tables the search kernels bisect over.
 """
 
 from __future__ import annotations
@@ -61,6 +77,8 @@ from repro.util import logrel
 __all__ = [
     "BatchUnsupported",
     "batch_heuristic_best",
+    "floor_log_reliability",
+    "heuristic_probe_tables",
     "heuristic_solve_batch",
 ]
 
@@ -69,8 +87,16 @@ class BatchUnsupported(Exception):
     """The batched kernel does not cover this ensemble/problem shape.
 
     Raised *before* any work happens; the caller runs the per-row path
-    instead.  Carrying the reason keeps harness logs explainable.
+    instead.  ``reason`` is a short machine-readable class
+    (``"objective"``, ``"floor"``, ``"heterogeneous"``,
+    ``"latency-bound"``, ...) that the harness counts per fallback
+    (``sweep.units.fallback``) so shrinking kernel coverage is
+    observable rather than silent; the message stays the human story.
     """
+
+    def __init__(self, message: str, *, reason: str = "unsupported") -> None:
+        super().__init__(message)
+        self.reason = reason
 
 
 # Element-wise maps over the exact scalar functions the per-instance
@@ -105,26 +131,28 @@ def _pyfloat(mapped: np.ndarray) -> np.ndarray:
     return mapped.astype(float)
 
 
-def _check_supported(
-    ensemble, which: str, objective: str, min_reliability: float
-) -> None:
+def _check_supported(ensemble, which: str, objective: str) -> None:
     if which not in ("heur-l", "heur-p", "both"):
         raise ValueError(f"unknown heuristic {which!r}")
     if objective != "reliability":
         raise BatchUnsupported(
             f"batched heuristics cover objective 'reliability' only, "
-            f"got {objective!r}"
+            f"got {objective!r}",
+            reason="objective",
         )
-    if float(min_reliability) != 0.0:
-        raise BatchUnsupported(
-            "batched heuristics do not apply a reliability floor "
-            f"(got min_reliability={min_reliability!r})"
-        )
-    if not ensemble.all_homogeneous:
-        raise BatchUnsupported(
-            "batched heuristics require homogeneous platform rows "
-            "(heterogeneous allocation is bounds-dependent)"
-        )
+
+
+def floor_log_reliability(min_reliability: float) -> float:
+    """The reliability floor as a log-probability (``-inf`` = none).
+
+    The kernel-side twin of :attr:`repro.solve.Problem.min_log_reliability`
+    — same special case, same conversion — so a floor travels through
+    the batched path as exactly the number the scalar solvers receive.
+    """
+    v = float(min_reliability)
+    if v == 0.0:
+        return -math.inf
+    return logrel.from_reliability(v)
 
 
 def _heur_l_boundaries(output: np.ndarray, m: int) -> np.ndarray:
@@ -289,6 +317,319 @@ def _candidate_metrics(
     return log_rel, wp, wl
 
 
+class _HomTable:
+    """Bounds-independent candidate metrics for homogeneous rows.
+
+    On homogeneous platforms divisions *and* allocations are
+    bounds-independent, so the whole candidate table — one
+    ``(log_reliability, WP, WL)`` triple per (heuristic, interval
+    count) per row — is computed once; probing any ``(P, L)`` point is
+    a mask + argmax.  Stacking order is the scalar loop order:
+    name-major, interval count ascending.
+    """
+
+    __slots__ = ("ell", "wp", "wl")
+
+    def __init__(self, ensemble, rows: np.ndarray, names) -> None:
+        r = len(rows)
+        n, p, K = ensemble.n_tasks, ensemble.p, ensemble.max_replication
+        b, link = ensemble.bandwidth, ensemble.link_failure_rate
+        work = np.ascontiguousarray(ensemble.work[rows])
+        output = np.ascontiguousarray(ensemble.output[rows])
+        # Homogeneous rows: column 0 is every processor (the broadcast
+        # property serves shared-platform ensembles transparently).
+        speeds = np.ascontiguousarray(ensemble.speeds[rows, 0], dtype=float)
+        rates = np.ascontiguousarray(ensemble.failure_rates[rows, 0], dtype=float)
+        prefix = np.concatenate([np.zeros((r, 1)), np.cumsum(work, axis=1)], axis=1)
+
+        M = min(n, p)
+        arg = _heur_p_tables(work, output, b, M) if "heur-p" in names else None
+        cand_ell, cand_wp, cand_wl = [], [], []
+        for name in names:
+            for m in range(1, M + 1):
+                if name == "heur-l":
+                    bnd = _heur_l_boundaries(output, m)
+                else:
+                    bnd = _heur_p_boundaries(arg, n, m)
+                ell, wp, wl = _candidate_metrics(
+                    bnd, prefix, output, speeds, rates, b, link, p, K
+                )
+                cand_ell.append(ell)
+                cand_wp.append(wp)
+                cand_wl.append(wl)
+        self.ell = np.stack(cand_ell)                       # (C, r)
+        self.wp = np.stack(cand_wp)
+        self.wl = np.stack(cand_wl)
+
+    def probe(
+        self, P: np.ndarray, L: np.ndarray, floor: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Feasible-best selection at per-row bounds.
+
+        *P*, *L* are ``(r,)`` vectors (a scalar sweep point broadcasts;
+        the search kernels pass per-lane bisection midpoints).  Returns
+        ``(feasible, ell, wp, wl)`` of the selected candidate per row
+        — garbage where infeasible, masked by the caller.
+        """
+        mask = (self.wp <= P) & (self.wl <= L)
+        if floor > -math.inf:
+            # Feasible-best maximizes log-reliability, so masking the
+            # floor before the argmax selects exactly the candidate the
+            # scalar path selects and then checks against the floor.
+            mask &= self.ell >= floor
+        feasible = mask.any(axis=0)
+        key = np.where(mask, self.ell, -math.inf)
+        best = key.max(axis=0)
+        # First feasible candidate attaining the maximum — the scalar
+        # selection's strict-improvement tie-break.
+        chosen = np.argmax(mask & (key == best), axis=0)
+        ridx = np.arange(self.ell.shape[1])
+        return (
+            feasible,
+            self.ell[chosen, ridx],
+            self.wp[chosen, ridx],
+            self.wl[chosen, ridx],
+        )
+
+
+def _algo_alloc_het_lockstep(
+    W: np.ndarray,
+    tcomp: np.ndarray,
+    lf_alloc: np.ndarray,
+    order: np.ndarray,
+    speeds: np.ndarray,
+    K: int,
+    P: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Section 7.2 allocation for every row at once, one candidate.
+
+    Runs :func:`~repro.algorithms.allocation.algo_alloc_het` in
+    lockstep over the processor-reliability ranks: at rank ``t`` every
+    row considers *its* ``t``-th most reliable processor.  A row whose
+    intervals are all seeded (or whose processor hosts nothing) marks
+    the rank as a leftover — exactly the scalar ``break`` /
+    ``continue`` bookkeeping, which is rank-order-preserving.
+
+    Parameters are per-candidate tables: *W* ``(r, m)`` interval works,
+    *tcomp* ``(r, p, m)`` compute times ``W_j / s_u``, *lf_alloc* the
+    branch log-failures under the allocation's operand order, *order*
+    the per-row reliability ranking, *P* the ``(r,)`` period bounds.
+
+    Returns ``(assign, min_speed, valid)``: per-processor interval
+    assignment (``-1`` = unused), per-interval slowest enrolled speed,
+    and the rows whose every interval got seeded (the scalar path
+    returns ``None`` — no mapping — for the others).
+    """
+    r, p, m = tcomp.shape
+    ridx = np.arange(r)
+    fits = tcomp <= P[:, None, None]
+    empty = np.ones((r, m), dtype=bool)
+    counts = np.zeros((r, m), dtype=np.int64)
+    slf = np.zeros((r, m))
+    assign = np.full((r, p), -1, dtype=np.int64)
+    min_speed = np.full((r, m), math.inf)
+    leftover = np.zeros((r, p), dtype=bool)
+
+    # Phase 1 — seed every interval, longest hostable interval first
+    # (ties to the smaller interval index: first-occurrence argmax).
+    for t in range(p):
+        u = order[:, t]
+        cand = empty & fits[ridx, u, :]
+        seed = cand.any(axis=1)
+        leftover[:, t] = ~seed
+        if not seed.any():
+            continue
+        j = np.argmax(np.where(cand, W, -math.inf), axis=1)
+        rs = np.flatnonzero(seed)
+        js, us = j[rs], u[rs]
+        empty[rs, js] = False
+        counts[rs, js] = 1
+        slf[rs, js] = slf[rs, js] + lf_alloc[rs, us, js]
+        assign[rs, us] = js
+        min_speed[rs, js] = speeds[rs, us]
+    valid = ~empty.any(axis=1)
+
+    # Phase 2 — leftovers (in rank order) go to the interval with the
+    # best reliability-improvement ratio among those they can host.
+    for t in range(p):
+        rows = np.flatnonzero(leftover[:, t] & valid)
+        if rows.size == 0:
+            continue
+        u = order[rows, t]
+        lf_u = lf_alloc[rows, u]                            # (k, m)
+        ok = (counts[rows] < K) & fits[rows, u]
+        slf_rows = slf[rows]
+        # score = log1mexp(slf + lf_u) - log1mexp(slf), both members
+        # through the same NumPy log1mexp the scalar path pairs up.
+        lo_cur = logrel.log1mexp(slf_rows)
+        lo_new = logrel.log1mexp(slf_rows + lf_u)
+        gain = np.where(ok, lo_new - lo_cur, -math.inf)
+        # The scalar strict '>' skips NaN scores (a certainly-failing
+        # stage compares -inf - -inf); argmax would propagate them.
+        gain = np.where(np.isnan(gain), -math.inf, gain)
+        j = np.argmax(gain, axis=1)
+        kidx = np.arange(rows.size)
+        acc = gain[kidx, j] > 0.0
+        ra, ja, ua = rows[acc], j[acc], u[acc]
+        slf[ra, ja] = slf[ra, ja] + lf_alloc[ra, ua, ja]
+        counts[ra, ja] += 1
+        assign[ra, ua] = ja
+        min_speed[ra, ja] = np.minimum(min_speed[ra, ja], speeds[ra, ua])
+    return assign, min_speed, valid
+
+
+class _HetTable:
+    """Per-candidate tables for heterogeneous rows (divisions only).
+
+    Divisions are chain-only and shared across sweep points; the
+    Section 7.2 allocation is *bounds-dependent*, so
+    :meth:`probe` re-allocates per ``(P, L)`` — the per-point
+    allocation batching of the het cell.
+    """
+
+    __slots__ = (
+        "order", "speeds", "rates", "K", "p", "candidates",
+    )
+
+    def __init__(self, ensemble, rows: np.ndarray, names) -> None:
+        r = len(rows)
+        n, p, K = ensemble.n_tasks, ensemble.p, ensemble.max_replication
+        b, link = ensemble.bandwidth, ensemble.link_failure_rate
+        work = np.ascontiguousarray(ensemble.work[rows])
+        output = np.ascontiguousarray(ensemble.output[rows])
+        speeds = np.ascontiguousarray(ensemble.speeds[rows], dtype=float)
+        rates = np.ascontiguousarray(ensemble.failure_rates[rows], dtype=float)
+        prefix = np.concatenate([np.zeros((r, 1)), np.cumsum(work, axis=1)], axis=1)
+
+        self.speeds, self.rates, self.K, self.p = speeds, rates, K, p
+        # Most reliable processors first — increasing lambda_u / s_u,
+        # ties by index (stable argsort = the scalar sort key tuple).
+        self.order = np.argsort(rates / speeds, axis=1, kind="stable")
+
+        M = min(n, p)
+        arg = _heur_p_tables(work, output, b, M) if "heur-p" in names else None
+        ridx = np.arange(r)[:, None]
+        self.candidates = []
+        for name in names:
+            for m in range(1, M + 1):
+                if name == "heur-l":
+                    bnd = _heur_l_boundaries(output, m)
+                else:
+                    bnd = _heur_p_boundaries(arg, n, m)
+                starts, stops = bnd[:, :-1], bnd[:, 1:]
+                W = prefix[ridx, stops] - prefix[ridx, starts]
+                out_sizes = output[ridx, stops - 1]
+                in_sizes = np.where(
+                    starts == 0, 0.0, output[ridx, np.maximum(starts - 1, 0)]
+                )
+                ell_in = -link * (in_sizes / b)
+                ell_out = -link * (out_sizes / b)
+                # The allocation composes its branch differently from
+                # the evaluation: one comm add, then
+                # ell_comm - (lam * W) / s.  Both compositions are kept
+                # — same operand order, same rounding — because the
+                # greedy's decisions and the final metrics must each be
+                # bit-identical to their scalar twins.
+                ell_comm = ell_in + ell_out
+                tcomp = W[:, None, :] / speeds[:, :, None]          # (r, p, m)
+                branch_alloc = ell_comm[:, None, :] - (
+                    rates[:, :, None] * W[:, None, :]
+                ) / speeds[:, :, None]
+                lf_alloc = _pyfloat(_log_failure_map(branch_alloc))
+                self.candidates.append(
+                    (W, out_sizes / b, ell_in, ell_out, tcomp, lf_alloc)
+                )
+
+    def _evaluate(self, cand, assign, min_speed):
+        """``evaluate_mapping`` for one allocated candidate, every row.
+
+        Branch log-reliabilities recompose in the evaluation's operand
+        order — ``(ell_in + interval) + ell_out`` with the interval
+        term ``-lam * (W / s)`` — and accumulate per stage in ascending
+        processor order (the mapping stores replicas sorted).
+        """
+        W, comm, ell_in, ell_out, tcomp, _ = cand
+        r, m = W.shape
+        slf = np.zeros((r, m))
+        for u in range(self.p):
+            rows = np.flatnonzero(assign[:, u] >= 0)
+            if rows.size == 0:
+                continue
+            j = assign[rows, u]
+            branch = (
+                ell_in[rows, j] + (-self.rates[rows, u] * tcomp[rows, u, j])
+            ) + ell_out[rows, j]
+            slf[rows, j] = slf[rows, j] + _pyfloat(_log_failure_map(branch))
+        stage_ell = _pyfloat(_parallel_tail_map(slf))
+        wc = W / min_speed
+        log_rel = np.zeros(r)
+        wl = np.zeros(r)
+        for j in range(m):
+            log_rel = log_rel + stage_ell[:, j]
+            wl = wl + (wc[:, j] + comm[:, j])
+        wp = np.maximum(comm.max(axis=1), wc.max(axis=1))
+        return log_rel, wp, wl
+
+    def probe(
+        self, P: np.ndarray, L: np.ndarray, floor: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Allocate + evaluate + select at per-row bounds.
+
+        Same contract as :meth:`_HomTable.probe`; every candidate's
+        allocation is re-run because Algo-Alloc's period filter
+        ``W_j / s_u <= P`` depends on the bound.
+        """
+        cand_valid, cand_ell, cand_wp, cand_wl = [], [], [], []
+        for cand in self.candidates:
+            W, _, _, _, tcomp, lf_alloc = cand
+            assign, min_speed, valid = _algo_alloc_het_lockstep(
+                W, tcomp, lf_alloc, self.order, self.speeds, self.K, P
+            )
+            ell, wp, wl = self._evaluate(cand, assign, min_speed)
+            cand_valid.append(valid)
+            cand_ell.append(ell)
+            cand_wp.append(wp)
+            cand_wl.append(wl)
+        valid = np.stack(cand_valid)                        # (C, r)
+        ell = np.stack(cand_ell)
+        wp = np.stack(cand_wp)
+        wl = np.stack(cand_wl)
+        mask = valid & (wp <= P) & (wl <= L)
+        if floor > -math.inf:
+            mask &= ell >= floor
+        feasible = mask.any(axis=0)
+        key = np.where(mask, ell, -math.inf)
+        best = key.max(axis=0)
+        chosen = np.argmax(mask & (key == best), axis=0)
+        ridx = np.arange(ell.shape[1])
+        return (
+            feasible,
+            ell[chosen, ridx],
+            wp[chosen, ridx],
+            wl[chosen, ridx],
+        )
+
+
+def heuristic_probe_tables(ensemble, rows: np.ndarray, which: str):
+    """Split *rows* by platform kind and build each side's probe table.
+
+    Returns ``[(subset_positions, table), ...]`` where positions index
+    into *rows*; the shared machinery behind
+    :func:`batch_heuristic_best` and the bisection-search kernels
+    (:mod:`repro.algorithms.batch_search`).
+    """
+    names = ("heur-p", "heur-l") if which == "both" else (which,)
+    hom = ensemble.homogeneous_rows()[rows]
+    parts = []
+    for idx, table_cls in (
+        (np.flatnonzero(hom), _HomTable),
+        (np.flatnonzero(~hom), _HetTable),
+    ):
+        if idx.size:
+            parts.append((idx, table_cls(ensemble, rows[idx], names)))
+    return parts
+
+
 def batch_heuristic_best(
     ensemble,
     bounds: Sequence[tuple[float, float]],
@@ -301,14 +642,16 @@ def batch_heuristic_best(
     """Run a Section 7 heuristic on every ensemble row at every bound.
 
     The batched twin of solving ``heuristic_best(chain, platform,
-    max_period=P, max_latency=L, which=which)`` per row per sweep
-    point — bit-identical to that loop, one kernel call instead.
+    max_period=P, max_latency=L, which=which,
+    min_log_reliability=floor)`` per row per sweep point —
+    bit-identical to that loop, one kernel call instead.
 
     Parameters
     ----------
     ensemble:
-        A homogeneous-rows :class:`~repro.core.ensemble.Ensemble`
-        (rows may carry *different* homogeneous platforms).
+        Any :class:`~repro.core.ensemble.Ensemble`: homogeneous rows
+        take the bounds-independent candidate table, heterogeneous
+        rows the per-point allocation path (mixed ensembles split).
     bounds:
         ``(max_period, max_latency)`` per sweep point.
     rows:
@@ -316,9 +659,12 @@ def batch_heuristic_best(
     which:
         ``"heur-l"``, ``"heur-p"``, or ``"both"`` (candidate order
         matches :func:`~repro.algorithms.heuristic_best`).
-    objective, min_reliability:
-        Must be ``"reliability"`` / ``0.0`` — anything else raises
+    objective:
+        Must be ``"reliability"`` — anything else raises
         :class:`BatchUnsupported`.
+    min_reliability:
+        Reliability floor in ``[0, 1)``; candidates below it are
+        masked before selection (``0.0`` = no floor).
 
     Returns
     -------
@@ -327,71 +673,32 @@ def batch_heuristic_best(
         flags, failure probabilities (1.0 where unsolved), and
         achieved reliabilities (0.0 where unsolved).
     """
-    _check_supported(ensemble, which, objective, min_reliability)
+    _check_supported(ensemble, which, objective)
     if rows is None:
         rows = range(ensemble.n_instances)
     rows = np.asarray(list(rows), dtype=np.int64)
     n_pts = len(bounds)
     r = len(rows)
-    if r == 0:
-        empty = np.zeros((0, n_pts))
-        return empty.astype(bool), np.ones((0, n_pts)), np.zeros((0, n_pts))
-
-    n, p, K = ensemble.n_tasks, ensemble.p, ensemble.max_replication
-    b, link = ensemble.bandwidth, ensemble.link_failure_rate
-    work = np.ascontiguousarray(ensemble.work[rows])
-    output = np.ascontiguousarray(ensemble.output[rows])
-    # Homogeneous rows: column 0 is every processor (the broadcast
-    # property serves shared-platform ensembles transparently).
-    speeds = np.ascontiguousarray(ensemble.speeds[rows, 0], dtype=float)
-    rates = np.ascontiguousarray(ensemble.failure_rates[rows, 0], dtype=float)
-
-    prefix = np.concatenate([np.zeros((r, 1)), np.cumsum(work, axis=1)], axis=1)
-
-    M = min(n, p)
-    names = ("heur-p", "heur-l") if which == "both" else (which,)
-    arg = _heur_p_tables(work, output, b, M) if "heur-p" in names else None
-
-    # Candidates are bounds-independent on homogeneous platforms:
-    # enumerate once, then mask per sweep point.  Stacking order is the
-    # scalar loop order — name-major, interval count ascending.
-    cand_ell, cand_wp, cand_wl = [], [], []
-    for name in names:
-        for m in range(1, M + 1):
-            if name == "heur-l":
-                bnd = _heur_l_boundaries(output, m)
-            else:
-                bnd = _heur_p_boundaries(arg, n, m)
-            ell, wp, wl = _candidate_metrics(
-                bnd, prefix, output, speeds, rates, b, link, p, K
-            )
-            cand_ell.append(ell)
-            cand_wp.append(wp)
-            cand_wl.append(wl)
-    cand_ell = np.stack(cand_ell)                           # (C, r)
-    cand_wp = np.stack(cand_wp)
-    cand_wl = np.stack(cand_wl)
-
     solved = np.zeros((r, n_pts), dtype=bool)
     failure = np.ones((r, n_pts), dtype=float)
     values = np.zeros((r, n_pts), dtype=float)
-    ridx = np.arange(r)
-    for pt, (P, L) in enumerate(bounds):
-        mask = (cand_wp <= float(P)) & (cand_wl <= float(L))
-        feasible = mask.any(axis=0)
-        key = np.where(mask, cand_ell, -math.inf)
-        best = key.max(axis=0)
-        # First feasible candidate attaining the maximum — the scalar
-        # selection's strict-improvement tie-break.
-        chosen = np.argmax(mask & (key == best), axis=0)
-        ell_best = cand_ell[chosen, ridx]
-        solved[:, pt] = feasible
-        failure[:, pt] = np.where(
-            feasible, _pyfloat(_failure_map(ell_best)), 1.0
-        )
-        values[:, pt] = np.where(
-            feasible, _pyfloat(_reliability_map(ell_best)), 0.0
-        )
+    if r == 0:
+        return solved, failure, values
+
+    floor = floor_log_reliability(min_reliability)
+    for idx, table in heuristic_probe_tables(ensemble, rows, which):
+        k = idx.size
+        for pt, (P, L) in enumerate(bounds):
+            P_vec = np.full(k, float(P))
+            L_vec = np.full(k, float(L))
+            feasible, ell, _, _ = table.probe(P_vec, L_vec, floor)
+            solved[idx, pt] = feasible
+            failure[idx, pt] = np.where(
+                feasible, _pyfloat(_failure_map(ell)), 1.0
+            )
+            values[idx, pt] = np.where(
+                feasible, _pyfloat(_reliability_map(ell)), 0.0
+            )
     return solved, failure, values
 
 

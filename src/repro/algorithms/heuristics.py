@@ -223,6 +223,7 @@ def heuristic_best(
     allowed: Callable[[int, int], bool] | None = None,
     selection: Literal["feasible-best", "best-then-check"] = "feasible-best",
     allocation: Literal["auto", "het"] = "auto",
+    min_log_reliability: float = -math.inf,
 ) -> SolveResult:
     """Best heuristic schedule meeting the period and latency bounds.
 
@@ -235,6 +236,13 @@ def heuristic_best(
     * ``"feasible-best"`` (default): among the candidates meeting both
       bounds, return the most reliable — never misses a feasible
       candidate.
+    ``min_log_reliability`` adds the converse objectives' reliability
+    floor as a feasibility constraint: the selected candidate must also
+    attain the floor, and a run whose best candidate falls below it is
+    infeasible.  Because ``"feasible-best"`` maximizes log-reliability,
+    filtering after selection is equivalent to filtering candidates
+    before it — the same schedule wins either way.
+
     * ``"best-then-check"``: pick the most reliable allocated candidate
       first, then check the bounds.  This reproduces the behaviour the
       paper reports for its heterogeneous experiments — "the number of
@@ -285,7 +293,7 @@ def heuristic_best(
             key = cand.evaluation.log_reliability
             if best is None or key > best[0]:
                 best = (key, cand.mapping, cand.evaluation, name, cand.feasible)
-    if best is None or not best[4]:
+    if best is None or not best[4] or best[0] < min_log_reliability:
         return SolveResult.infeasible(
             f"heuristic:{which}", candidates_tried=tried, selection=selection
         )

@@ -35,7 +35,12 @@ RULES = {
 register_rules(RULES)
 
 #: The hot-path modules the telemetry/I-O discipline covers.
-KERNEL_MODULES = ("repro.algorithms.batch", "repro.util.logrel")
+KERNEL_MODULES = (
+    "repro.algorithms.batch",
+    "repro.algorithms.batch_dp",
+    "repro.algorithms.batch_search",
+    "repro.util.logrel",
+)
 
 _IO_EXACT = {
     "open", "io.open", "os.open", "os.fdopen", "print", "input",

@@ -39,10 +39,15 @@ bounds list.  Units are
   all of an ensemble's uncached, unseeded units in one columnar call
   per ``(method, ensemble)`` group — bit-identical to the per-row
   path (same arrays, same cache entries), just without the Python
-  loop.  Kernels that do not cover a shape (heterogeneous rows, a
-  converse objective, a reliability floor) raise
-  :class:`~repro.algorithms.batch.BatchUnsupported` and those units
-  fall back to per-row solves;
+  loop.  Kernels cover reliability floors, the converse objectives
+  (``dp-period``/``dp-latency``), and the heterogeneous searches; one
+  that does not cover a shape (say, a finite latency bound on
+  ``dp-period``) raises
+  :class:`~repro.algorithms.batch.BatchUnsupported` with a
+  machine-readable ``reason`` — under ``batch="auto"`` those units
+  fall back to per-row solves (counted per reason in telemetry and
+  attributed in the ledger), under forced ``batch=True`` the sweep
+  raises instead of silently degrading;
 * **cached**: each unit's ``(solved, failure, objective_values)``
   arrays are stored under a content hash derived from the method name,
   the instance's raw-array *row digest*
@@ -152,9 +157,11 @@ class SweepResult:
         ``"worker"``), ``solved`` count, ``seconds`` where measured
         (batch-served units carry the kernel group's amortized share
         and ``batch_group``; cache hits carry ``None``), a
-        ``batch_fallback`` marker for units whose kernel raised
-        ``BatchUnsupported``, and — for search methods that report
-        them — per-unit ``probes`` totals and a ``converged`` flag.
+        ``batch_fallback`` reason string
+        (:attr:`~repro.algorithms.batch.BatchUnsupported.reason`) for
+        units whose kernel refused the shape, and — for search methods
+        that report them — per-unit ``probes`` totals and a
+        ``converged`` flag.
         This is the ledger's ``per_unit.jsonl``, derived from data
         rather than log scraping.
     """
@@ -317,6 +324,30 @@ def _unit_arrays(
     return solved, failure, objective_values, info
 
 
+def _unpack_batch(out, n_rows: int):
+    """Normalize a ``solve_batch`` return to ``(solved, failure, values, infos)``.
+
+    Kernels return three per-row arrays, or four items where the
+    fourth is a per-row list of info dicts (the ``probes`` /
+    ``converged`` aggregates the per-row path derives from solve
+    details) — see :attr:`~repro.experiments.methods.Method
+    .solve_batch`.  The three-tuple form means "no info", exactly like
+    a per-row unit whose solves report no details.
+    """
+    if len(out) == 4:
+        solved, failure, values, infos = out
+        infos = list(infos)
+        if len(infos) != n_rows:
+            raise ValueError(
+                f"solve_batch returned {len(infos)} info entries for "
+                f"{n_rows} rows"
+            )
+    else:
+        solved, failure, values = out
+        infos = [None] * n_rows
+    return solved, failure, values, infos
+
+
 def _solve_shard_payload(
     method_name: str,
     fingerprint: str,
@@ -372,15 +403,19 @@ def _solve_shard_payload(
             t0 = time.perf_counter()
             try:
                 with obs.span("sweep.batch", label=method_name):
-                    solved, failure, objective_values = method.solve_batch(
-                        ensemble,
-                        bounds,
-                        rows=list(range(len(seeds))),
-                        objective=objective,
-                        min_reliability=min_reliability,
+                    solved, failure, objective_values, infos = _unpack_batch(
+                        method.solve_batch(
+                            ensemble,
+                            bounds,
+                            rows=list(range(len(seeds))),
+                            objective=objective,
+                            min_reliability=min_reliability,
+                        ),
+                        len(seeds),
                     )
-            except BatchUnsupported:
+            except BatchUnsupported as exc:
                 obs.counter("sweep.batch_unsupported", len(seeds), label=method_name)
+                obs.counter("sweep.units.fallback", len(seeds), label=exc.reason)
             else:
                 share = (time.perf_counter() - t0) / max(len(seeds), 1)
                 return [
@@ -388,7 +423,7 @@ def _solve_shard_payload(
                         [bool(s) for s in solved[j]],
                         [float(f) for f in failure[j]],
                         [float(v) for v in objective_values[j]],
-                        None,
+                        infos[j],
                         "batch",
                         share,
                     )
@@ -560,12 +595,17 @@ def run_sweep(
         homogeneous-only method on a heterogeneous platform — plan
         with :meth:`repro.solve.Planner.plan` to pre-filter.
     batch:
-        ``"auto"`` (default) and ``True`` serve uncached, unseeded
-        units of :attr:`~repro.experiments.methods.Method.solve_batch`
-        methods through one columnar kernel call per ``(method,
-        ensemble)`` group; ``False`` forces the per-row path.  Results
-        are bit-identical either way (cache entries included) — the
-        knob exists for diagnostics and the equivalence tests.
+        ``"auto"`` (default) serves uncached, unseeded units of
+        :attr:`~repro.experiments.methods.Method.solve_batch` methods
+        through one columnar kernel call per ``(method, ensemble)``
+        group, falling back to per-row solves for shapes a kernel
+        refuses; ``True`` demands the kernels — any refusal raises
+        ``ValueError`` naming each refused cell and its
+        :attr:`~repro.algorithms.batch.BatchUnsupported.reason`
+        (methods without a kernel still run per-row either way);
+        ``False`` forces the per-row path.  Results are bit-identical
+        in every mode (cache entries included) — the knob exists for
+        diagnostics and the equivalence tests.
         :attr:`SweepResult.batch_units` reports how many units the
         kernels served.
     """
@@ -684,8 +724,12 @@ def run_sweep(
     timings["cache_lookup"] = time.perf_counter() - t0
 
     # The units whose batch kernel refused the shape: their per-row
-    # recomputation is a *fallback*, and the ledger says so.
-    fallback_units: set[tuple[int, int]] = set()
+    # recomputation is a *fallback*, and the ledger says why (the
+    # BatchUnsupported reason class).  Refused groups are remembered so
+    # worker shards skip the doomed kernel retry.
+    fallback_units: dict[tuple[int, int], str] = {}
+    refused: list[tuple[str, str, int]] = []
+    refused_groups: set[tuple[int, int]] = set()
 
     def finish(mi: int, ii: int, key: "str | None",
                unit_solved: np.ndarray, unit_failure: np.ndarray,
@@ -707,8 +751,9 @@ def run_sweep(
         }
         if batch_group is not None:
             event["batch_group"] = batch_group
-        if (mi, ii) in fallback_units:
-            event["batch_fallback"] = True
+        reason = fallback_units.get((mi, ii))
+        if reason is not None:
+            event["batch_fallback"] = reason
         if info:
             event.update(info)
         unit_events.append(event)
@@ -747,19 +792,28 @@ def run_sweep(
             t_group = time.perf_counter()
             try:
                 with obs.span("sweep.batch", label=methods[mi].name):
-                    group_solved, group_failure, group_values = methods[mi].solve_batch(
-                        ensembles[ei],
-                        bounds,
-                        rows=[row_of[u[1]] for u in units],
-                        objective=objective,
-                        min_reliability=min_reliability,
+                    (group_solved, group_failure, group_values,
+                     group_infos) = _unpack_batch(
+                        methods[mi].solve_batch(
+                            ensembles[ei],
+                            bounds,
+                            rows=[row_of[u[1]] for u in units],
+                            objective=objective,
+                            min_reliability=min_reliability,
+                        ),
+                        len(units),
                     )
-            except BatchUnsupported:
+            except BatchUnsupported as exc:
                 # Attribution: these units now fall back to the
-                # per-row machinery below, and the ledger records it.
-                fallback_units.update((u[0], u[1]) for u in units)
+                # per-row machinery below, and the ledger records why.
+                for u in units:
+                    fallback_units[(u[0], u[1])] = exc.reason
+                refused.append((methods[mi].name, exc.reason, len(units)))
+                refused_groups.add((mi, ei))
                 obs.counter("sweep.batch_unsupported", len(units),
                             label=methods[mi].name)
+                obs.counter("sweep.units.fallback", len(units),
+                            label=exc.reason)
                 continue
             share = (time.perf_counter() - t_group) / max(len(units), 1)
             for r, unit in enumerate(units):
@@ -768,10 +822,20 @@ def run_sweep(
                     np.asarray(group_solved[r], dtype=bool),
                     np.asarray(group_failure[r], dtype=float),
                     np.asarray(group_values[r], dtype=float),
+                    info=group_infos[r],
                     source="batch", seconds=share, batch_group=len(units),
                 )
                 served.add(unit)
             batch_units += len(units)
+        if refused and batch is True:
+            cells = "; ".join(
+                f"{name} ({n} units): {reason}" for name, reason, n in refused
+            )
+            raise ValueError(
+                "batch=True demands the kernels, but some refused their "
+                f"shapes — {cells}. Use batch='auto' to let uncovered "
+                "units fall back to per-row solves."
+            )
         if served:
             pending = [u for u in pending if u not in served]
     timings["batch"] = time.perf_counter() - t0
@@ -815,7 +879,8 @@ def run_sweep(
             futures = {}
             for shard in shards:
                 mi = shard[0][0]
-                ensemble = ensembles[ensemble_of[shard[0][1]]]
+                ei = ensemble_of[shard[0][1]]
+                ensemble = ensembles[ei]
                 fut = pool.submit(
                     _solve_shard_payload,
                     methods[mi].name,
@@ -825,7 +890,10 @@ def run_sweep(
                     [u[2] for u in shard],
                     objective,
                     min_reliability,
-                    batch in (True, "auto"),
+                    # A group the parent's kernel already refused would
+                    # refuse again in the worker — skip the retry (and
+                    # the double-counted fallback telemetry).
+                    batch in (True, "auto") and (mi, ei) not in refused_groups,
                     collect_telemetry,
                 )
                 futures[fut] = shard

@@ -98,6 +98,8 @@ from repro.algorithms import (
     ilp_best,
     pareto_dp_best,
 )
+from repro.algorithms.batch_dp import batch_minimize_latency, batch_minimize_period
+from repro.algorithms.batch_search import search_solve_batch
 from repro.algorithms.result import SolveResult
 from repro.core.platform import Platform
 from repro.solve.problem import Problem
@@ -277,11 +279,17 @@ class Method:
         objective, min_reliability) -> (solved, failure,
         objective_values)`` arrays of shape ``(len(rows),
         len(bounds))``, bit-identical to looping :attr:`solve` over
-        the rows.  The sweep harness calls it per ``(method,
-        ensemble)`` group; a kernel that does not cover the shape
-        raises :class:`repro.algorithms.batch.BatchUnsupported` and
-        every row falls back to the per-instance path.  ``None``
-        (default) means "no batched path".
+        the rows.  Kernels whose scalar twin records per-unit details
+        (probe counts, convergence flags) return a 4-tuple instead —
+        ``(..., infos)`` with one per-row info dict (or ``None``) in
+        ``rows`` order, byte-identical to what the harness would have
+        accumulated from the per-row results.  The sweep harness calls
+        it per ``(method, ensemble)`` group; a kernel that does not
+        cover the shape raises
+        :class:`repro.algorithms.batch.BatchUnsupported` (whose
+        ``reason`` the harness counts per fallback class) and every
+        row falls back to the per-instance path.  ``None`` (default)
+        means "no batched path".
     """
 
     name: str
@@ -604,9 +612,11 @@ def _brute_force(problem):
 
 # Binary search re-running an exact reliability DP per probe: O(log n^2)
 # probes of Algorithm 2 (or the Pareto DP when a latency bound is set).
+# The batched kernel covers the Algorithm 2 cell (all latency bounds
+# infinite); finite-latency points fall back to the per-row Pareto probe.
 @register_method(
     "dp-period", exact=True, homogeneous_only=True, cost_hint=8.0,
-    objectives=("period",),
+    objectives=("period",), solve_batch=batch_minimize_period,
 )
 def _dp_period(problem):
     from repro.algorithms.dp_period import minimize_period
@@ -622,7 +632,7 @@ def _dp_period(problem):
 # pareto-dp, slightly cheaper in practice (no per-point bound sweep).
 @register_method(
     "dp-latency", exact=True, homogeneous_only=True, cost_hint=5.0,
-    objectives=("latency",),
+    objectives=("latency",), solve_batch=batch_minimize_latency,
 )
 def _dp_latency(problem):
     from repro.algorithms.pareto_dp import minimize_latency
@@ -639,11 +649,31 @@ def _dp_latency(problem):
 # dp-period theory does not apply.  Heuristic (the probes are), any
 # platform; on homogeneous platforms "auto" still prefers the exact,
 # cheaper dp-period.
-@register_method("het-period-search", cost_hint=12.0, objectives=("period",))
+@register_method(
+    "het-period-search", cost_hint=12.0, objectives=("period",),
+    solve_batch=search_solve_batch("period"),
+)
 def _het_period_search(problem):
     from repro.extensions.period_search import minimize_period_search
 
     return minimize_period_search(
+        problem.chain, problem.platform,
+        min_log_reliability=problem.min_log_reliability,
+        max_period=problem.max_period, max_latency=problem.max_latency,
+    )
+
+
+# The latency twin, completing method="auto" coverage of every
+# (objective x platform-kind) cell; on homogeneous platforms "auto"
+# still prefers the exact, cheaper dp-latency.
+@register_method(
+    "het-latency-search", cost_hint=12.0, objectives=("latency",),
+    solve_batch=search_solve_batch("latency"),
+)
+def _het_latency_search(problem):
+    from repro.extensions.latency_search import minimize_latency_search
+
+    return minimize_latency_search(
         problem.chain, problem.platform,
         min_log_reliability=problem.min_log_reliability,
         max_period=problem.max_period, max_latency=problem.max_latency,

@@ -19,6 +19,9 @@
   heterogeneous platforms (where the Section 5.2 converse does not
   apply) by binary search over Section 7 heuristic solves; registered
   as the ``het-period-search`` method.
+* :mod:`repro.extensions.latency_search` — the latency twin
+  (``het-latency-search``), completing ``method="auto"`` coverage over
+  every (objective x platform-kind) cell.
 """
 
 from repro.extensions.norouting import RoutingComparison, compare_routing
@@ -27,6 +30,7 @@ from repro.extensions.energy import (
     energy_aware_alloc_het,
 )
 from repro.extensions.annealing import AnnealingStats, anneal_mapping
+from repro.extensions.latency_search import minimize_latency_search
 from repro.extensions.period_search import minimize_period_search
 
 __all__ = [
@@ -36,5 +40,6 @@ __all__ = [
     "energy_aware_alloc_het",
     "AnnealingStats",
     "anneal_mapping",
+    "minimize_latency_search",
     "minimize_period_search",
 ]

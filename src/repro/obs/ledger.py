@@ -504,6 +504,7 @@ def render_report(manifest: dict, per_unit: "Iterable[dict]" = ()) -> str:
 
     sources: dict[str, int] = {}
     converged: dict[str, int] = {"converged": 0, "not_converged": 0}
+    coverage: dict[str, dict] = {}
     for row in per_unit:
         source = str(row.get("source", "?"))
         sources[source] = sources.get(source, 0) + 1
@@ -511,6 +512,17 @@ def render_report(manifest: dict, per_unit: "Iterable[dict]" = ()) -> str:
             converged["converged"] += 1
         elif row.get("converged") is False:
             converged["not_converged"] += 1
+        record = coverage.setdefault(
+            str(row.get("method", "?")),
+            {"batch": 0, "per_row": 0, "cache": 0, "fallback": {}},
+        )
+        bucket = source if source in ("batch", "cache") else "per_row"
+        record[bucket] += 1
+        reason = row.get("batch_fallback")
+        if reason:
+            # Ledgers written before reasons existed carry a bare True.
+            label = reason if isinstance(reason, str) else "unsupported"
+            record["fallback"][label] = record["fallback"].get(label, 0) + 1
     if sources:
         lines += ["", "## Unit attribution", ""]
         for source in sorted(sources):
@@ -519,6 +531,19 @@ def render_report(manifest: dict, per_unit: "Iterable[dict]" = ()) -> str:
             lines.append(
                 f"- search convergence: {converged['converged']} converged, "
                 f"{converged['not_converged']} budget-exhausted"
+            )
+        lines += ["", "## Batch coverage", ""]
+        lines.append("| method | batch | fallback | per-row | cache |")
+        lines.append("|---|---|---|---|---|")
+        for method in sorted(coverage):
+            record = coverage[method]
+            fallback = ", ".join(
+                f"{label}: {count}"
+                for label, count in sorted(record["fallback"].items())
+            ) or "-"
+            lines.append(
+                f"| {method} | {record['batch']} | {fallback} "
+                f"| {record['per_row']} | {record['cache']} |"
             )
 
     telemetry = manifest.get("telemetry")

@@ -9,15 +9,23 @@ import pytest
 
 from repro.algorithms import (
     BatchUnsupported,
+    batch_bisection_search,
     batch_heuristic_best,
+    batch_minimize_latency,
+    batch_minimize_period,
     heuristic_best,
     heuristic_solve_batch,
 )
 from repro.experiments import Method, get_method, run_sweep
 from repro.experiments.cache import ResultCache
+from repro.experiments.harness import _unit_arrays
 from repro.scenarios import generate_ensemble, generate_ensembles, get_scenario
 
 BOUNDS = [(math.inf, math.inf), (600.0, 900.0), (150.0, 400.0)]
+
+#: Unbounded-latency sweep points: the shape the batched dp-period
+#: kernel covers (its probe is the Algorithm 2 DP).
+PERIOD_BOUNDS = [(math.inf, math.inf), (600.0, math.inf), (150.0, math.inf)]
 
 #: Every builtin scenario, shrunk to equivalence-test size (the full
 #: dimensions are benchmark territory; bit-identity does not care).
@@ -39,9 +47,21 @@ OBJECTIVE_METHOD = {
     ("period", True): "dp-period",
     ("period", False): "het-period-search",
     ("latency", True): "dp-latency",
-    ("latency", False): None,
+    ("latency", False): "het-latency-search",
     ("energy", True): "energy-greedy",
     ("energy", False): "energy-greedy",
+}
+
+#: Cells whose kernel serves every unit of a BOUNDS sweep.  dp-period
+#: is absent: BOUNDS carries finite latency bounds, which its kernel
+#: refuses (reason "latency-bound") — see TestForcedAndFallback.
+#: energy has no kernel at all.
+FULLY_BATCHED = {
+    ("reliability", True),
+    ("reliability", False),
+    ("period", False),
+    ("latency", True),
+    ("latency", False),
 }
 
 
@@ -49,15 +69,17 @@ def shrunk_spec(name):
     return get_scenario(name).spec.with_(**SHRINK[name])
 
 
-def sweep_pair(tmp_path, spec, method, objective):
+def sweep_pair(tmp_path, spec, method, objective, bounds=BOUNDS,
+               min_reliability=0.0):
     """The same sweep through the batched and the per-row path, each
     into its own cold cache."""
     sweeps, caches = [], []
     for batch in ("auto", False):
         cache = ResultCache(tmp_path / f"cache-{batch}")
         sweeps.append(run_sweep(
-            spec, [method], BOUNDS,
+            spec, [method], bounds,
             cache=cache, objective=objective, batch=batch,
+            min_reliability=min_reliability,
         ))
         caches.append(cache)
     return sweeps, caches
@@ -96,14 +118,14 @@ class TestSweepEquivalenceMatrix:
         # payloads — a sweep warmed by one path serves the other.
         assert cache_keys(bcache) == cache_keys(lcache) != set()
         assert looped.batch_units == 0
-        if (
-            method.solve_batch is not None
-            and entry.homogeneous
-            and objective == "reliability"
-        ):
+        if (objective, entry.homogeneous) in FULLY_BATCHED:
             assert batched.batch_units == n_units(batched)
         else:
             assert batched.batch_units == 0
+        if method_name == "dp-period":
+            # The refused cell is attributed, not silent.
+            reasons = {e.get("batch_fallback") for e in batched.unit_events}
+            assert reasons == {"latency-bound"}
 
     def test_batch_warmed_cache_serves_per_row_sweep(self, tmp_path):
         spec = shrunk_spec("section8-hom")
@@ -137,7 +159,10 @@ class TestKernelBitIdentity:
     """batch_heuristic_best against the per-row heuristic_best loop."""
 
     @pytest.mark.parametrize("which", ["heur-l", "heur-p", "both"])
-    @pytest.mark.parametrize("scenario", ["section8-hom", "unreliable-links"])
+    @pytest.mark.parametrize(
+        "scenario",
+        ["section8-hom", "unreliable-links", "high-heterogeneity", "hot-spare"],
+    )
     def test_matches_per_row_loop(self, scenario, which):
         ensemble = generate_ensemble(shrunk_spec(scenario), seed=11)
         solved, failure, values = batch_heuristic_best(
@@ -169,16 +194,81 @@ class TestKernelBitIdentity:
     def test_unsupported_shapes_raise(self):
         het = generate_ensemble(shrunk_spec("high-heterogeneity"), seed=5)
         hom = generate_ensemble(shrunk_spec("section8-hom"), seed=5)
-        with pytest.raises(BatchUnsupported, match="homogeneous"):
-            batch_heuristic_best(het, BOUNDS)
+        # Heterogeneous rows and reliability floors are covered cells
+        # now; only a mismatched objective remains unsupported here.
+        solved, _failure, _values = batch_heuristic_best(
+            het, BOUNDS, min_reliability=0.5
+        )
+        assert solved.shape == (len(het), len(BOUNDS))
         with pytest.raises(BatchUnsupported, match="objective"):
             batch_heuristic_best(hom, BOUNDS, objective="period")
-        with pytest.raises(BatchUnsupported, match="floor"):
-            batch_heuristic_best(hom, BOUNDS, min_reliability=0.5)
         with pytest.raises(ValueError, match="unknown heuristic"):
             batch_heuristic_best(hom, BOUNDS, which="heur-x")
         with pytest.raises(ValueError, match="unknown heuristic"):
             heuristic_solve_batch("heur-x")
+
+    def test_unsupported_reasons_and_messages(self):
+        """Snapshot of each kernel's refusal: the machine-readable
+        reason class the telemetry counts, and the message text."""
+        het = generate_ensemble(shrunk_spec("high-heterogeneity"), seed=5)
+        hom = generate_ensemble(shrunk_spec("section8-hom"), seed=5)
+        cases = [
+            (
+                lambda: batch_heuristic_best(hom, BOUNDS, objective="period"),
+                "objective",
+                "batched heuristics cover objective 'reliability' only, "
+                "got 'period'",
+            ),
+            (
+                lambda: batch_minimize_period(hom, BOUNDS),
+                "latency-bound",
+                "the batched dp-period kernel probes with the Algorithm 2 "
+                "DP, which requires an unbounded latency; points with a "
+                "finite max_latency take the per-row Pareto-DP probe "
+                "instead",
+            ),
+            (
+                lambda: batch_minimize_period(het, PERIOD_BOUNDS),
+                "heterogeneous",
+                "the batched dp-period kernel requires fully homogeneous "
+                "rows (the Section 5 DPs are only optimal there; Section 6 "
+                "proves the heterogeneous problem NP-complete)",
+            ),
+            (
+                lambda: batch_minimize_latency(het, BOUNDS),
+                "heterogeneous",
+                "the batched dp-latency kernel requires fully homogeneous "
+                "rows (the Section 5 DPs are only optimal there; Section 6 "
+                "proves the heterogeneous problem NP-complete)",
+            ),
+            (
+                lambda: batch_minimize_latency(hom, BOUNDS, objective="period"),
+                "objective",
+                "the batched dp-latency kernel covers objective 'latency' "
+                "only, got 'period'",
+            ),
+            (
+                lambda: get_method("het-period-search").solve_batch(
+                    het, BOUNDS, objective="latency"
+                ),
+                "objective",
+                "the batched period-search kernel covers objective "
+                "'period' only, got 'latency'",
+            ),
+            (
+                lambda: get_method("het-latency-search").solve_batch(
+                    het, BOUNDS, objective="period"
+                ),
+                "objective",
+                "the batched latency-search kernel covers objective "
+                "'latency' only, got 'period'",
+            ),
+        ]
+        for call, reason, message in cases:
+            with pytest.raises(BatchUnsupported) as exc:
+                call()
+            assert exc.value.reason == reason
+            assert str(exc.value) == message
 
     def test_scaling_stress_variants(self):
         # Tuple-axis specs expand to differently-shaped ensembles; the
@@ -201,10 +291,15 @@ class TestKernelBitIdentity:
 
 
 class TestMethodCapability:
-    def test_builtin_heuristics_declare_solve_batch(self):
-        for name in ("heur-l", "heur-p", "heuristic"):
+    def test_builtin_methods_declare_solve_batch(self):
+        for name in (
+            "heur-l", "heur-p", "heuristic",
+            "dp-period", "dp-latency",
+            "het-period-search", "het-latency-search",
+        ):
             assert get_method(name).solve_batch is not None
-        for name in ("dp-period", "anneal", "heur-l-paper"):
+        for name in ("anneal", "heur-l-paper", "ilp", "pareto-dp",
+                     "brute-force", "energy-greedy"):
             assert get_method(name).solve_batch is None
 
     def test_fingerprint_covers_solve_batch(self):
@@ -221,3 +316,165 @@ class TestMethodCapability:
         direct = batch_heuristic_best(ensemble, BOUNDS, which="heur-p")
         for a, b in zip(via_method, direct):
             assert np.array_equal(a, b)
+
+
+#: (method, objective, bounds, scenario) per converse-objective kernel
+#: cell; the search methods run on both platform kinds.
+CONVERSE_CELLS = [
+    ("dp-period", "period", PERIOD_BOUNDS, "section8-hom"),
+    ("dp-latency", "latency", BOUNDS, "section8-hom"),
+    ("het-period-search", "period", BOUNDS, "section8-het"),
+    ("het-period-search", "period", BOUNDS, "long-chain"),
+    ("het-latency-search", "latency", BOUNDS, "high-heterogeneity"),
+    ("het-latency-search", "latency", BOUNDS, "section8-hom"),
+]
+
+
+class TestConverseKernels:
+    """The dp/search kernels against the per-row path itself —
+    _unit_arrays is byte-for-byte what the harness runs per unit, so
+    this pins arrays *and* the per-row info (probes/converged)."""
+
+    @pytest.mark.parametrize("method_name,objective,bounds,scenario",
+                             CONVERSE_CELLS)
+    @pytest.mark.parametrize("floor", [0.0, 0.9])
+    def test_kernel_rows_match_unit_arrays(
+        self, method_name, objective, bounds, scenario, floor
+    ):
+        ensemble = generate_ensemble(shrunk_spec(scenario), seed=13)
+        method = get_method(method_name)
+        out = method.solve_batch(
+            ensemble, bounds, objective=objective, min_reliability=floor
+        )
+        if len(out) == 4:
+            solved, failure, values, infos = out
+        else:
+            solved, failure, values = out
+            infos = [None] * len(ensemble)
+        for i in range(len(ensemble)):
+            u_solved, u_failure, u_values, u_info = _unit_arrays(
+                method, ensemble[i], bounds, None, objective, floor
+            )
+            assert np.array_equal(np.asarray(solved[i], dtype=bool), u_solved)
+            assert np.array_equal(np.asarray(failure[i], dtype=float), u_failure)
+            assert np.array_equal(np.asarray(values[i], dtype=float), u_values)
+            assert infos[i] == u_info
+
+    def test_search_infos_count_probes(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-het"), seed=13)
+        _solved, _failure, _values, infos = batch_bisection_search(
+            ensemble, BOUNDS, criterion="period"
+        )
+        assert all(info is not None and info["probes"] >= len(BOUNDS)
+                   for info in infos)
+
+    def test_rows_subset(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-hom"), seed=13)
+        full = batch_minimize_period(ensemble, PERIOD_BOUNDS)
+        part = batch_minimize_period(ensemble, PERIOD_BOUNDS, rows=[2, 0])
+        for whole, sub in zip(full[:3], part[:3]):
+            assert np.array_equal(sub[0], whole[2])
+            assert np.array_equal(sub[1], whole[0])
+        assert part[3] == [full[3][2], full[3][0]]
+
+    def test_empty_rows(self):
+        ensemble = generate_ensemble(shrunk_spec("section8-hom"), seed=13)
+        solved, failure, values, infos = batch_minimize_period(
+            ensemble, PERIOD_BOUNDS, rows=[]
+        )
+        assert solved.shape == (0, len(PERIOD_BOUNDS)) and infos == []
+
+
+class TestFloorSweeps:
+    """Reliability floors through the batched sweep: batched == per-row
+    bit-identity at every floor, infeasible rows included."""
+
+    #: The top floor is chosen so that some (not necessarily all)
+    #: units go infeasible on the shrunk scenarios.
+    FLOORS = [0.0, 0.9, 1.0 - 1e-12]
+
+    @pytest.mark.parametrize("floor", FLOORS)
+    @pytest.mark.parametrize("method_name,objective,bounds,scenario",
+                             CONVERSE_CELLS)
+    def test_floored_sweep_matches_per_row(
+        self, tmp_path, method_name, objective, bounds, scenario, floor
+    ):
+        method = get_method(method_name)
+        (batched, looped), (bcache, lcache) = sweep_pair(
+            tmp_path, shrunk_spec(scenario), method, objective,
+            bounds=bounds, min_reliability=floor,
+        )
+        assert np.array_equal(batched.solved, looped.solved)
+        assert np.array_equal(batched.failure, looped.failure)
+        assert np.array_equal(batched.objective_values, looped.objective_values)
+        assert cache_keys(bcache) == cache_keys(lcache) != set()
+        assert batched.batch_units == n_units(batched)
+        assert looped.batch_units == 0
+        if floor == self.FLOORS[-1] and method_name.startswith("dp-"):
+            # The hom scenarios cannot clear this floor everywhere; the
+            # het ones can (replication pushes failure below 1e-12), so
+            # only the DP cells pin the infeasible-row case here.
+            assert not batched.solved.all()
+
+    def test_kernel_floor_matches_per_row_heuristics(self):
+        # run_sweep rejects floored *reliability* sweeps (the floor is
+        # a constraint for the converse objectives), so the floored
+        # heuristic cell is pinned at kernel level.
+        from repro.util.logrel import from_reliability
+
+        ensemble = generate_ensemble(shrunk_spec("unreliable-links"), seed=13)
+        for floor in (0.5, 1.0 - 1e-12):
+            solved, failure, values = batch_heuristic_best(
+                ensemble, BOUNDS, min_reliability=floor
+            )
+            for i, (chain, platform) in enumerate(ensemble):
+                for pt, (P, L) in enumerate(BOUNDS):
+                    res = heuristic_best(
+                        chain, platform, max_period=P, max_latency=L,
+                        which="both", selection="feasible-best",
+                        min_log_reliability=from_reliability(floor),
+                    )
+                    assert bool(solved[i, pt]) == res.feasible
+                    assert float(failure[i, pt]) == res.failure_probability
+                    assert float(values[i, pt]) == res.objective_value(
+                        "reliability"
+                    )
+
+
+class TestForcedAndFallback:
+    """batch=True demands the kernels; batch="auto" falls back with an
+    attributed reason."""
+
+    def test_forced_batch_raises_on_refused_cell(self):
+        with pytest.raises(ValueError, match="latency-bound") as exc:
+            run_sweep(
+                shrunk_spec("section8-hom"), [get_method("dp-period")],
+                BOUNDS, objective="period", batch=True,
+            )
+        assert "dp-period" in str(exc.value)
+        assert "batch='auto'" in str(exc.value)
+
+    def test_forced_batch_passes_on_covered_cell(self):
+        sweep = run_sweep(
+            shrunk_spec("section8-hom"), [get_method("dp-period")],
+            PERIOD_BOUNDS, objective="period", batch=True,
+        )
+        assert sweep.batch_units == n_units(sweep)
+
+    def test_forced_batch_leaves_kernel_free_methods_alone(self):
+        sweep = run_sweep(
+            shrunk_spec("section8-hom"), [get_method("heur-l-paper")],
+            BOUNDS, batch=True,
+        )
+        assert sweep.batch_units == 0
+        assert all("batch_fallback" not in e for e in sweep.unit_events)
+
+    def test_auto_fallback_attributes_reason(self):
+        sweep = run_sweep(
+            shrunk_spec("section8-hom"), [get_method("dp-period")],
+            BOUNDS, objective="period", batch="auto",
+        )
+        assert sweep.batch_units == 0
+        for event in sweep.unit_events:
+            assert event["batch_fallback"] == "latency-bound"
+            assert event["source"] == "parent"
